@@ -1,0 +1,88 @@
+// Command confgen is the runtime configuration generator of Figure 4 as
+// a standalone tool: topology knowledge in, a per-node JSON
+// configuration out.
+//
+// Usage:
+//
+//	confgen -role receiver -node lynxdtn -sockets 2 -cores 16 \
+//	        -nic-socket 1 -streams 4 -compression
+//	confgen -role sender -node updraft1 -sockets 2 -cores 16 \
+//	        -nic-socket 1 -compression -send-threads 4
+//	confgen -role receiver -discover            # use this host's topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numastream/internal/numa"
+	"numastream/internal/runtime"
+)
+
+func main() {
+	var (
+		role        = flag.String("role", "", "node role: sender or receiver (required)")
+		node        = flag.String("node", "node", "node name recorded in the config")
+		sockets     = flag.Int("sockets", 2, "NUMA socket count")
+		cores       = flag.Int("cores", 16, "cores per socket")
+		nicSocket   = flag.Int("nic-socket", 1, "NUMA socket the data NIC is attached to")
+		streams     = flag.Int("streams", 1, "concurrent streams this node serves")
+		compression = flag.Bool("compression", false, "enable compression/decompression stages")
+		sendThreads = flag.Int("send-threads", 0, "send/receive threads per stream (0 = auto)")
+		discover    = flag.Bool("discover", false, "take socket/core counts from this host's topology")
+		osBaseline  = flag.Bool("os-baseline", false, "emit the OS-placement baseline instead")
+	)
+	flag.Parse()
+
+	topo := runtime.TopologyInfo{
+		Sockets:        *sockets,
+		CoresPerSocket: *cores,
+		NICSocket:      *nicSocket,
+	}
+	if *discover {
+		host, ok := numa.Discover()
+		if !ok {
+			fmt.Fprintln(os.Stderr, "confgen: host NUMA discovery unavailable; using synthetic topology")
+		}
+		topo.Sockets = len(host.Nodes)
+		if topo.Sockets > 0 {
+			topo.CoresPerSocket = len(host.Nodes[0].CPUs)
+		}
+		if *nicSocket >= topo.Sockets {
+			topo.NICSocket = topo.Sockets - 1
+		}
+	}
+
+	opts := runtime.GenerateOptions{
+		Streams:     *streams,
+		Compression: *compression,
+		SendThreads: *sendThreads,
+	}
+
+	var cfg runtime.NodeConfig
+	var err error
+	switch runtime.Role(*role) {
+	case runtime.Sender:
+		cfg, err = runtime.GenerateSenderConfig(*node, topo, opts)
+	case runtime.Receiver:
+		cfg, err = runtime.GenerateReceiverConfig(*node, topo, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "confgen: -role must be %q or %q\n", runtime.Sender, runtime.Receiver)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "confgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *osBaseline {
+		cfg = runtime.GenerateOSBaseline(cfg)
+	}
+
+	data, err := runtime.EncodeConfig(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "confgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
+}

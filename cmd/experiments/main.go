@@ -1,0 +1,216 @@
+// Command experiments regenerates the paper's evaluation: every table
+// and figure of §3 and §4, printed in the paper's shape. See
+// EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	experiments -fig all
+//	experiments -fig 5        # receiver throughput vs #processes
+//	experiments -fig 6 -fig 7 # core usage / remote access heatmaps
+//	experiments -fig 8 -quick # compression sweep, reduced thread set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"numastream/internal/experiments"
+)
+
+type figList []string
+
+func (f *figList) String() string { return strings.Join(*f, ",") }
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var figs figList
+	quick := flag.Bool("quick", false, "reduced sweeps for a fast run")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the Fig 14 gateway to this file")
+	csvDir := flag.String("csv", "", "also write figN.csv files into this directory")
+	rssStreams := flag.Int("rss", 0, "run the RSS steering study with this many streams (extension)")
+	real := flag.Bool("real", false, "run the real-execution loopback sweep on this machine")
+	dualNIC := flag.Bool("dual-nic", false, "run the dual-NIC gateway study (extension)")
+	flag.Var(&figs, "fig", "figure to regenerate (5,6,7,8,9,11,12,14 or all); repeatable")
+	flag.Parse()
+
+	if len(figs) == 0 {
+		figs = figList{"all"}
+	}
+	want := map[string]bool{}
+	for _, f := range figs {
+		if f == "all" {
+			for _, k := range []string{"5", "6", "7", "8", "9", "11", "12", "14"} {
+				want[k] = true
+			}
+			continue
+		}
+		want[f] = true
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+
+	// writeCSV writes one figure's CSV when -csv is set.
+	writeCSV := func(name string, emit func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			fail(err)
+		}
+		if err := emit(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	if want["5"] {
+		counts := experiments.Fig5ProcessCounts
+		if *quick {
+			counts = []int{4, 32, 128}
+		}
+		res, err := experiments.Fig5Streaming(counts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFig5(res))
+		writeCSV("fig5.csv", func(w *os.File) error { return experiments.CSVFig5(w, res) })
+	}
+	if want["6"] || want["7"] {
+		res, err := experiments.Fig6CoreUsage(nil)
+		if err != nil {
+			fail(err)
+		}
+		if want["6"] {
+			fmt.Println(experiments.Fig6Heat(res))
+		}
+		if want["7"] {
+			fmt.Println(experiments.Fig7Heat(res))
+		}
+	}
+	if want["8"] {
+		counts := experiments.Fig8ThreadCounts
+		if *quick {
+			counts = []int{8, 16, 32}
+		}
+		res := experiments.Fig8Compression(counts)
+		fmt.Println(experiments.FormatCodec(
+			"Figure 8a: compression throughput (Gbps, uncompressed side) per Table 1 configuration",
+			res, counts))
+		fmt.Println(experiments.CodecHeat(
+			"Figure 8b: core usage at 16 and 32 compression threads (0-9 = busy fraction)",
+			res, intersect(counts, []int{16, 32})))
+		writeCSV("fig8.csv", func(w *os.File) error { return experiments.CSVCodec(w, res) })
+	}
+	if want["9"] {
+		counts := experiments.Fig9ThreadCounts
+		if *quick {
+			counts = []int{8, 16}
+		}
+		res := experiments.Fig9Decompression(counts)
+		fmt.Println(experiments.FormatCodec(
+			"Figure 9a: decompression throughput (Gbps, uncompressed side) per Table 1 configuration",
+			res, counts))
+		fmt.Println(experiments.CodecHeat(
+			"Figure 9b: core usage at 8 and 16 decompression threads (0-9 = busy fraction)",
+			res, intersect(counts, []int{8, 16})))
+		writeCSV("fig9.csv", func(w *os.File) error { return experiments.CSVCodec(w, res) })
+	}
+	if want["11"] {
+		counts := experiments.Fig11ThreadCounts
+		if *quick {
+			counts = []int{1, 2, 3, 4}
+		}
+		res, err := experiments.Fig11Network(counts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFig11(res))
+		writeCSV("fig11.csv", func(w *os.File) error { return experiments.CSVFig11(w, res) })
+	}
+	if want["12"] {
+		counts := experiments.Fig12ThreadCounts
+		if *quick {
+			counts = []int{1, 8}
+		}
+		res, err := experiments.Fig12EndToEnd(counts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFig12(res))
+		writeCSV("fig12.csv", func(w *os.File) error { return experiments.CSVFig12(w, res) })
+	}
+	if *real {
+		res, err := experiments.RealScaling([]int{1, 2, 4}, 48, 512<<10)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatReal(res))
+	}
+	if *dualNIC {
+		res, err := experiments.DualNICStudy()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatDualNIC(res))
+	}
+	if *rssStreams > 0 {
+		res, err := experiments.RSSStudy(*rssStreams)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatRSS(res))
+	}
+	if want["14"] {
+		rt, osr, factor, err := experiments.Fig14Speedup()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatFig14(rt, osr, factor))
+		writeCSV("fig14.csv", func(w *os.File) error { return experiments.CSVFig14(w, rt, osr) })
+
+		if *tracePath != "" {
+			tr, _, err := experiments.Fig14Trace(experiments.ModeRuntime)
+			if err != nil {
+				fail(err)
+			}
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+			if err := tr.WriteJSON(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("gateway trace (%d events) written to %s; per-stage busy time:\n%s\n",
+				tr.Len(), *tracePath, tr.Summary())
+		}
+	}
+}
+
+// intersect returns the values of want that appear in have.
+func intersect(have, want []int) []int {
+	var out []int
+	for _, w := range want {
+		for _, h := range have {
+			if h == w {
+				out = append(out, w)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Command nsdata generates and inspects chunked scientific dataset
+// containers — the DAQ-side tooling around the runtime. A generated
+// dataset holds synthetic tomography projections (one per chunk) plus
+// metadata, and can be fed to cmd/numastream or the examples.
+//
+// Usage:
+//
+//	nsdata generate -out scan.nscf -angles 90 -scale 8 -spheres 60
+//	nsdata info scan.nscf
+//	nsdata verify scan.nscf
+//	nsdata ratio scan.nscf          # per-chunk and average LZ4 ratio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"numastream/internal/chunk"
+	"numastream/internal/lz4"
+	"numastream/internal/tomo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "generate":
+		generate(os.Args[2:])
+	case "info":
+		withReader(os.Args[2:], info)
+	case "verify":
+		withReader(os.Args[2:], verify)
+	case "ratio":
+		withReader(os.Args[2:], ratio)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: nsdata generate|info|verify|ratio ...")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nsdata: %v\n", err)
+	os.Exit(1)
+}
+
+func generate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", "scan.nscf", "output container path")
+	angles := fs.Int("angles", 90, "projections per revolution")
+	scale := fs.Int("scale", 8, "detector downscale factor (1 = full 11.06 MB chunks)")
+	spheres := fs.Int("spheres", 60, "phantom sphere count")
+	seed := fs.Int64("seed", 1, "phantom seed")
+	fs.Parse(args)
+
+	cfg := tomo.DefaultProjectionConfig()
+	if *scale > 1 {
+		cfg.Width /= *scale
+		cfg.Height /= *scale
+	}
+	gen := tomo.NewGenerator(tomo.RandomPhantom(*seed, *spheres), cfg, *angles)
+
+	w, f, err := chunk.CreateFile(*out)
+	if err != nil {
+		fatal(err)
+	}
+	w.SetAttr("detector", fmt.Sprintf("%dx%d", cfg.Width, cfg.Height))
+	w.SetAttr("dtype", "uint16")
+	w.SetAttr("angles", fmt.Sprintf("%d", *angles))
+	total := 0
+	for i := 0; i < *angles; i++ {
+		p := gen.Next()
+		total += len(p)
+		if err := w.WriteChunk(p); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d projections (%dx%d uint16), %.1f MiB\n",
+		*out, *angles, cfg.Width, cfg.Height, float64(total)/(1<<20))
+}
+
+func withReader(args []string, fn func(path string, r *chunk.Reader)) {
+	if len(args) != 1 {
+		usage()
+	}
+	r, f, err := chunk.OpenFile(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	fn(args[0], r)
+}
+
+func info(path string, r *chunk.Reader) {
+	fmt.Printf("%s: %d chunks\n", path, r.NumChunks())
+	for _, key := range []string{"detector", "dtype", "angles"} {
+		if v, ok := r.Attr(key); ok {
+			fmt.Printf("  %-10s %s\n", key, v)
+		}
+	}
+	var total, min, max int64
+	min = math.MaxInt64
+	for i := 0; i < r.NumChunks(); i++ {
+		size, err := r.ChunkSize(i)
+		if err != nil {
+			fatal(err)
+		}
+		total += size
+		if size < min {
+			min = size
+		}
+		if size > max {
+			max = size
+		}
+	}
+	if r.NumChunks() > 0 {
+		fmt.Printf("  chunks: %d bytes min, %d max, %.1f MiB total\n", min, max, float64(total)/(1<<20))
+	}
+}
+
+func verify(path string, r *chunk.Reader) {
+	for i := 0; i < r.NumChunks(); i++ {
+		if _, err := r.ReadChunk(i); err != nil {
+			fatal(fmt.Errorf("chunk %d: %w", i, err))
+		}
+	}
+	fmt.Printf("%s: all %d chunk CRCs verified\n", path, r.NumChunks())
+}
+
+func ratio(path string, r *chunk.Reader) {
+	var rawTotal, packedTotal int
+	for i := 0; i < r.NumChunks(); i++ {
+		p, err := r.ReadChunk(i)
+		if err != nil {
+			fatal(err)
+		}
+		packed := lz4.Compress(p)
+		rawTotal += len(p)
+		packedTotal += len(packed)
+		if i < 5 {
+			fmt.Printf("  chunk %3d: %.2f:1\n", i, float64(len(p))/float64(len(packed)))
+		}
+	}
+	if r.NumChunks() > 5 {
+		fmt.Printf("  ... (%d more)\n", r.NumChunks()-5)
+	}
+	if packedTotal > 0 {
+		fmt.Printf("%s: average LZ4 ratio %.2f:1 (paper: ~2:1)\n",
+			path, float64(rawTotal)/float64(packedTotal))
+	}
+}

@@ -1,0 +1,165 @@
+// Command numastream runs one node of the streaming runtime over real
+// TCP, driven by a JSON configuration file from confgen. A sender node
+// generates synthetic tomography projections (or patterned chunks),
+// compresses them per its config, and pushes them to the receiver; the
+// receiver pulls, decompresses and reports throughput — the real-
+// execution counterpart of the paper's deployment.
+//
+// Usage:
+//
+//	numastream -config receiver.json -bind :5555 -chunks 64
+//	numastream -config sender.json -peers host:5555 -chunks 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+
+	"numastream/internal/metrics"
+	"numastream/internal/numa"
+	"numastream/internal/pipeline"
+	"numastream/internal/runtime"
+	"numastream/internal/tomo"
+	"numastream/internal/trace"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "node config JSON (required)")
+		peers      = flag.String("peers", "", "comma-separated receiver addresses (sender)")
+		bind       = flag.String("bind", ":5555", "listen address (receiver)")
+		chunks     = flag.Int("chunks", 32, "chunks to stream / expect")
+		scale      = flag.Int("scale", 4, "detector downscale factor (1 = full 11.06 MB chunks)")
+		synthetic  = flag.Bool("synthetic", false, "use patterned chunks instead of tomography projections")
+		serve      = flag.Bool("serve", false, "receiver: serve until interrupted instead of expecting -chunks")
+		tracePath  = flag.String("trace", "", "write a Chrome trace of this node's workers to the file")
+	)
+	flag.Parse()
+
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "numastream: -config is required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := runtime.DecodeConfig(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	topo, ok := numa.Discover()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "numastream: NUMA discovery unavailable; placement will be best-effort")
+	}
+
+	reg := metrics.NewRegistry()
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(1 << 20)
+	}
+	switch cfg.Role {
+	case runtime.Sender:
+		if *peers == "" {
+			fmt.Fprintln(os.Stderr, "numastream: sender needs -peers")
+			os.Exit(2)
+		}
+		err = pipeline.RunSender(pipeline.SenderOptions{
+			Cfg:     cfg,
+			Topo:    topo,
+			Peers:   strings.Split(*peers, ","),
+			Source:  newSource(*chunks, *scale, *synthetic),
+			Metrics: reg,
+			Tracer:  tracer,
+		})
+	case runtime.Receiver:
+		opts := pipeline.ReceiverOptions{
+			Cfg:     cfg,
+			Topo:    topo,
+			Bind:    *bind,
+			Expect:  *chunks,
+			Metrics: reg,
+			Tracer:  tracer,
+		}
+		if *serve {
+			// Serve until SIGINT/SIGTERM.
+			stop := make(chan struct{})
+			sigs := make(chan os.Signal, 1)
+			signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+			go func() {
+				<-sigs
+				close(stop)
+			}()
+			opts.Expect = 0
+			opts.Stop = stop
+		}
+		err = pipeline.RunReceiver(opts)
+	default:
+		err = fmt.Errorf("config has unknown role %q", cfg.Role)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace (%d events) written to %s\n", tracer.Len(), *tracePath)
+	}
+	fmt.Printf("%s %q done:\n%s", cfg.Role, cfg.Node, reg.String())
+}
+
+// newSource yields n chunks: synthetic patterned data, or parallel-beam
+// projections of a sphere phantom at detector/scale resolution.
+func newSource(n, scale int, synthetic bool) func() []byte {
+	var mu sync.Mutex
+	i := 0
+	if synthetic {
+		return func() []byte {
+			mu.Lock()
+			defer mu.Unlock()
+			if i >= n {
+				return nil
+			}
+			i++
+			chunk := make([]byte, tomo.ChunkBytes/(scale*scale))
+			for j := range chunk {
+				chunk[j] = byte(j / 64) // compressible runs
+			}
+			return chunk
+		}
+	}
+	cfg := tomo.DefaultProjectionConfig()
+	if scale > 1 {
+		cfg.Width /= scale
+		cfg.Height /= scale
+	}
+	gen := tomo.NewGenerator(tomo.RandomPhantom(1, 60), cfg, 360)
+	return func() []byte {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= n {
+			return nil
+		}
+		i++
+		return gen.Next()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "numastream: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Command topoinfo prints this host's NUMA topology — the knowledge base
+// the runtime configuration generator consumes.
+package main
+
+import (
+	"fmt"
+
+	"numastream/internal/numa"
+)
+
+func main() {
+	topo, real := numa.Discover()
+	if real {
+		fmt.Println("source: sysfs (/sys/devices/system/node)")
+	} else {
+		fmt.Println("source: synthetic fallback (no NUMA sysfs on this host)")
+	}
+	fmt.Printf("nodes: %d, logical CPUs: %d\n", len(topo.Nodes), topo.NumCPUs())
+	for _, n := range topo.Nodes {
+		mem := "unknown"
+		if n.MemBytes > 0 {
+			mem = fmt.Sprintf("%.1f GiB", float64(n.MemBytes)/(1<<30))
+		}
+		fmt.Printf("  node %d: %d cpus %v, memory %s\n", n.ID, len(n.CPUs), n.CPUs, mem)
+	}
+	if len(topo.Distances) > 0 {
+		fmt.Println("distances (SLIT):")
+		for i, row := range topo.Distances {
+			fmt.Printf("  node %d: %v\n", i, row)
+		}
+	}
+}

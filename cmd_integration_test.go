@@ -1,0 +1,193 @@
+package numastream_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Integration tests for the command-line tools: build each binary once
+// and drive realistic invocations end to end.
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildTools compiles the cmd binaries into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "numastream-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"confgen", "topoinfo", "nsdata", "numastream", "experiments"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("building %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), bin), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIConfgenEmitsValidJSON(t *testing.T) {
+	out := run(t, "confgen", "-role", "receiver", "-node", "gw",
+		"-sockets", "2", "-cores", "16", "-nic-socket", "1",
+		"-streams", "4", "-compression")
+	var cfg map[string]any
+	if err := json.Unmarshal([]byte(out), &cfg); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	if cfg["role"] != "receiver" || cfg["node"] != "gw" {
+		t.Fatalf("config = %v", cfg)
+	}
+	groups := cfg["groups"].([]any)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+}
+
+func TestCLIConfgenOSBaseline(t *testing.T) {
+	out := run(t, "confgen", "-role", "sender", "-compression", "-os-baseline")
+	if !strings.Contains(out, `"mode": "os"`) {
+		t.Fatalf("baseline config lacks OS placement:\n%s", out)
+	}
+}
+
+func TestCLITopoinfo(t *testing.T) {
+	out := run(t, "topoinfo")
+	if !strings.Contains(out, "nodes:") || !strings.Contains(out, "node 0:") {
+		t.Fatalf("topoinfo output:\n%s", out)
+	}
+}
+
+func TestCLINsdataLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	scan := filepath.Join(dir, "scan.nscf")
+	out := run(t, "nsdata", "generate", "-out", scan, "-angles", "6", "-scale", "16")
+	if !strings.Contains(out, "6 projections") {
+		t.Fatalf("generate output:\n%s", out)
+	}
+	out = run(t, "nsdata", "info", scan)
+	if !strings.Contains(out, "6 chunks") || !strings.Contains(out, "uint16") {
+		t.Fatalf("info output:\n%s", out)
+	}
+	out = run(t, "nsdata", "verify", scan)
+	if !strings.Contains(out, "verified") {
+		t.Fatalf("verify output:\n%s", out)
+	}
+	out = run(t, "nsdata", "ratio", scan)
+	if !strings.Contains(out, "average LZ4 ratio") {
+		t.Fatalf("ratio output:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsQuick(t *testing.T) {
+	out := run(t, "experiments", "-fig", "11", "-quick")
+	if !strings.Contains(out, "Figure 11") || !strings.Contains(out, "100.0") {
+		t.Fatalf("experiments output:\n%s", out)
+	}
+}
+
+func TestCLIStreamingPair(t *testing.T) {
+	dir := t.TempDir()
+	rcvCfg := filepath.Join(dir, "rcv.json")
+	sndCfg := filepath.Join(dir, "snd.json")
+	os.WriteFile(rcvCfg, []byte(run(t, "confgen", "-role", "receiver", "-node", "gw",
+		"-sockets", "1", "-cores", "1", "-nic-socket", "0", "-compression")), 0o644)
+	os.WriteFile(sndCfg, []byte(run(t, "confgen", "-role", "sender", "-node", "src",
+		"-sockets", "1", "-cores", "1", "-nic-socket", "0", "-compression")), 0o644)
+
+	const addr = "127.0.0.1:19773"
+	recvOut := make(chan string, 1)
+	recvErr := make(chan error, 1)
+	go func() {
+		cmd := exec.Command(filepath.Join(buildTools(t), "numastream"),
+			"-config", rcvCfg, "-bind", addr, "-chunks", "4", "-scale", "16", "-synthetic")
+		out, err := cmd.CombinedOutput()
+		recvOut <- string(out)
+		recvErr <- err
+	}()
+
+	// The sender's PUSH socket redials until the receiver binds, so
+	// launch order does not matter.
+	sndOut := run(t, "numastream",
+		"-config", sndCfg, "-peers", addr, "-chunks", "4", "-scale", "16", "-synthetic")
+	if !strings.Contains(sndOut, `sender "src" done`) {
+		t.Fatalf("sender output:\n%s", sndOut)
+	}
+	out := <-recvOut
+	if err := <-recvErr; err != nil {
+		t.Fatalf("receiver: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `receiver "gw" done`) || !strings.Contains(out, "4 items") {
+		t.Fatalf("receiver output:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsCSVAndExtensions(t *testing.T) {
+	dir := t.TempDir()
+	out := run(t, "experiments", "-fig", "12", "-quick", "-csv", dir)
+	if !strings.Contains(out, "bottleneck") {
+		t.Fatalf("fig 12 output lacks the bottleneck column:\n%s", out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig12.csv"))
+	if err != nil {
+		t.Fatalf("fig12.csv: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "config,threads,recv_domain,e2e_gbps,net_gbps") {
+		t.Fatalf("fig12.csv header:\n%s", data[:80])
+	}
+
+	out = run(t, "experiments", "-dual-nic", "-fig", "none")
+	if !strings.Contains(out, "dual-aligned") {
+		t.Fatalf("dual-nic output:\n%s", out)
+	}
+	out = run(t, "experiments", "-rss", "2", "-fig", "none")
+	if !strings.Contains(out, "scattered") {
+		t.Fatalf("rss output:\n%s", out)
+	}
+}
+
+func TestCLIExperimentsTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "gw.json")
+	out := run(t, "experiments", "-fig", "14", "-trace", tracePath)
+	if !strings.Contains(out, "1.48X") {
+		t.Fatalf("fig 14 output:\n%s", out)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+}

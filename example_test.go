@@ -1,0 +1,60 @@
+package numastream_test
+
+import (
+	"fmt"
+
+	"numastream"
+)
+
+// ExampleGenerateReceiverConfig shows the configuration generator
+// deriving the paper's gateway deployment from topology knowledge.
+func ExampleGenerateReceiverConfig() {
+	topo := numastream.TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, _ := numastream.GenerateReceiverConfig("lynxdtn", topo,
+		numastream.GenerateOptions{Streams: 4, Compression: true})
+	for _, g := range cfg.Groups {
+		fmt.Printf("%s x%d on sockets %v\n", g.Type, g.Count, g.Placement.Sockets)
+	}
+	// Output:
+	// receive x4 on sockets [1]
+	// decompress x4 on sockets [0]
+}
+
+// ExampleGenerateSenderConfig sizes compression threads for a target
+// rate (the paper's §1 arithmetic run backwards).
+func ExampleGenerateSenderConfig() {
+	topo := numastream.TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, _ := numastream.GenerateSenderConfig("updraft1", topo,
+		numastream.GenerateOptions{Compression: true, TargetGbps: 37})
+	fmt.Println("compress threads:", cfg.Count(numastream.Compress))
+	// Output:
+	// compress threads: 8
+}
+
+// ExampleGenerateOSBaseline rewrites a tuned configuration to the OS
+// placement baseline used for the paper's §4.2 comparison.
+func ExampleGenerateOSBaseline() {
+	topo := numastream.TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, _ := numastream.GenerateReceiverConfig("gw", topo,
+		numastream.GenerateOptions{Streams: 1})
+	baseline := numastream.GenerateOSBaseline(cfg)
+	fmt.Println(baseline.Groups[0].Placement.Mode)
+	// Output:
+	// os
+}
+
+// ExampleEncodeConfig round-trips a node configuration through the JSON
+// wire format the tools exchange.
+func ExampleEncodeConfig() {
+	cfg := numastream.NodeConfig{
+		Node: "gw", Role: numastream.Receiver,
+		Groups: []numastream.TaskGroup{
+			{Type: numastream.Receive, Count: 2, Placement: numastream.PinTo(1)},
+		},
+	}
+	data, _ := numastream.EncodeConfig(cfg)
+	back, _ := numastream.DecodeConfig(data)
+	fmt.Println(back.Node, back.Count(numastream.Receive))
+	// Output:
+	// gw 2
+}

@@ -1,0 +1,145 @@
+// Reconstruct: the full Figure-1 story. A beamline node streams
+// compressed projections of a sphere phantom through the runtime's
+// pipeline to an analysis node, which extracts the central detector row
+// from each delivered projection, assembles the sinogram, and runs
+// filtered backprojection — turning "raw information into valuable
+// insights" on the receiving side.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"sync"
+
+	"numastream"
+	"numastream/internal/recon"
+	"numastream/internal/tomo"
+)
+
+const (
+	angles = 90
+	width  = 192
+	height = 96
+	size   = 48 // reconstructed slice resolution
+)
+
+func main() {
+	phantom := &tomo.Phantom{Spheres: []tomo.Sphere{
+		{X: -0.35, Y: -0.15, Z: 0, R: 0.28, Density: 1.0},
+		{X: 0.3, Y: 0.35, Z: 0, R: 0.2, Density: 1.6},
+		{X: 0.15, Y: -0.4, Z: 0, R: 0.12, Density: 2.2},
+	}}
+	cfg := tomo.ProjectionConfig{
+		Width: width, Height: height,
+		NoiseSigma: 4, QuantStep: 4, Scale: 20000, Seed: 3,
+	}
+
+	host, _ := numastream.DiscoverTopology()
+	topoInfo := numastream.TopologyInfo{
+		Sockets:        len(host.Nodes),
+		CoresPerSocket: len(host.Nodes[0].CPUs),
+		NICSocket:      len(host.Nodes) - 1,
+	}
+	rcvCfg, err := numastream.GenerateReceiverConfig("analysis", topoInfo,
+		numastream.GenerateOptions{Streams: 1, Compression: true, SendThreads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sndCfg, err := numastream.GenerateSenderConfig("beamline", topoInfo,
+		numastream.GenerateOptions{Streams: 1, Compression: true, SendThreads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Receiver: collect the central row of every projection (keyed by
+	// sequence number = angle index).
+	type row struct {
+		seq  uint64
+		data []float64
+	}
+	var mu sync.Mutex
+	var rows []row
+	ready := make(chan string, 1)
+	recvDone := make(chan error, 1)
+	go func() {
+		recvDone <- numastream.StartReceiver(numastream.ReceiverOptions{
+			Cfg: rcvCfg, Topo: host, Bind: "127.0.0.1:0",
+			Expect: angles, Ready: ready,
+			Sink: func(c numastream.Chunk) error {
+				centerRow := height / 2
+				r := make([]float64, width)
+				for u := 0; u < width; u++ {
+					px := binary.LittleEndian.Uint16(c.Data[(centerRow*width+u)*2:])
+					r[u] = float64(px) / cfg.Scale
+				}
+				mu.Lock()
+				rows = append(rows, row{seq: c.Seq, data: r})
+				mu.Unlock()
+				return nil
+			},
+		})
+	}()
+
+	// Sender: one projection per angle.
+	addr := <-ready
+	next := 0
+	err = numastream.StartSender(numastream.SenderOptions{
+		Cfg: sndCfg, Topo: host, Peers: []string{addr},
+		Source: func() []byte {
+			if next >= angles {
+				return nil
+			}
+			theta := math.Pi * float64(next) / angles
+			next++
+			return tomo.Projection(phantom, theta, cfg)
+		},
+	})
+	if err != nil {
+		log.Fatalf("sender: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		log.Fatalf("receiver: %v", err)
+	}
+
+	// Assemble the sinogram in angle order and reconstruct.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].seq < rows[j].seq })
+	sino := &recon.Sinogram{}
+	for _, r := range rows {
+		sino.Angles = append(sino.Angles, math.Pi*float64(r.seq)/angles)
+		sino.Rows = append(sino.Rows, r.data)
+	}
+	img, err := recon.FBP(sino, size, recon.Hann)
+	if err != nil {
+		log.Fatalf("FBP: %v", err)
+	}
+
+	fmt.Printf("streamed %d projections (%dx%d) and reconstructed a %dx%d slice\n",
+		angles, width, height, size, size)
+	printSlice(img)
+}
+
+// printSlice renders the reconstruction as ASCII intensity art.
+func printSlice(img []float64) {
+	max := 0.0
+	for _, v := range img {
+		if v > max {
+			max = v
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	for y := 0; y < size; y++ {
+		line := make([]byte, size)
+		for x := 0; x < size; x++ {
+			v := img[y*size+x]
+			if v < 0 {
+				v = 0
+			}
+			idx := int(v / (max + 1e-12) * float64(len(shades)-1))
+			line[x] = shades[idx]
+		}
+		fmt.Println(string(line))
+	}
+}

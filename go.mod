@@ -1,0 +1,3 @@
+module numastream
+
+go 1.22

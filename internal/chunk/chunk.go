@@ -1,0 +1,307 @@
+// Package chunk implements a chunked scientific-dataset container: a
+// seekable file format holding a sequence of equal-role data chunks
+// (e.g. one X-ray projection each) with a footer index, per-chunk CRCs
+// and string attributes. It stands in for the paper's use of HDF5 (the
+// hdf5 library "for seamless management of large and complex datasets"):
+// what the runtime needs from HDF5 is exactly chunked storage with random
+// access and metadata, which this format provides with stdlib only.
+//
+// Layout:
+//
+//	header:  magic "NSCF" | version u16 | reserved u16
+//	body:    for each chunk: payload bytes (written sequentially)
+//	index:   chunkCount u32 | per chunk {offset u64, size u64, crc u32}
+//	         attrCount u32 | per attr {klen u16, key, vlen u32, value}
+//	footer:  indexOffset u64 | indexCRC u32 | magic "NSCI"
+package chunk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+var (
+	headerMagic = [4]byte{'N', 'S', 'C', 'F'}
+	footerMagic = [4]byte{'N', 'S', 'C', 'I'}
+)
+
+const (
+	version    = 1
+	headerSize = 8
+	footerSize = 16
+)
+
+// ErrCorrupt reports a structurally invalid or checksum-failing file.
+var ErrCorrupt = errors.New("chunk: corrupt container")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type chunkEntry struct {
+	offset uint64
+	size   uint64
+	crc    uint32
+}
+
+// Writer writes a container to an io.Writer. Chunks stream through
+// sequentially; the index accumulates in memory (24 bytes per chunk) and
+// lands in the footer on Close.
+type Writer struct {
+	w      io.Writer
+	off    uint64
+	index  []chunkEntry
+	attrs  map[string]string
+	closed bool
+	err    error
+}
+
+// NewWriter starts a container on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	cw := &Writer{w: w, attrs: make(map[string]string)}
+	var hdr [headerSize]byte
+	copy(hdr[:4], headerMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:], version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	cw.off = headerSize
+	return cw, nil
+}
+
+// SetAttr records a string attribute (dataset metadata). Attributes are
+// written with the index at Close.
+func (cw *Writer) SetAttr(key, value string) error {
+	if cw.closed {
+		return errors.New("chunk: SetAttr on closed writer")
+	}
+	if len(key) > 0xffff {
+		return fmt.Errorf("chunk: attribute key too long (%d bytes)", len(key))
+	}
+	cw.attrs[key] = value
+	return nil
+}
+
+// WriteChunk appends one chunk.
+func (cw *Writer) WriteChunk(p []byte) error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.closed {
+		return errors.New("chunk: WriteChunk on closed writer")
+	}
+	if _, err := cw.w.Write(p); err != nil {
+		cw.err = err
+		return err
+	}
+	cw.index = append(cw.index, chunkEntry{
+		offset: cw.off,
+		size:   uint64(len(p)),
+		crc:    crc32.Checksum(p, castagnoli),
+	})
+	cw.off += uint64(len(p))
+	return nil
+}
+
+// Close writes the index and footer. It does not close the underlying
+// writer.
+func (cw *Writer) Close() error {
+	if cw.err != nil {
+		return cw.err
+	}
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+
+	var idx bytes.Buffer
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(cw.index)))
+	idx.Write(scratch[:4])
+	for _, e := range cw.index {
+		binary.LittleEndian.PutUint64(scratch[:], e.offset)
+		idx.Write(scratch[:])
+		binary.LittleEndian.PutUint64(scratch[:], e.size)
+		idx.Write(scratch[:])
+		binary.LittleEndian.PutUint32(scratch[:4], e.crc)
+		idx.Write(scratch[:4])
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(cw.attrs)))
+	idx.Write(scratch[:4])
+	for _, k := range sortedKeys(cw.attrs) {
+		v := cw.attrs[k]
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(k)))
+		idx.Write(scratch[:2])
+		idx.WriteString(k)
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v)))
+		idx.Write(scratch[:4])
+		idx.WriteString(v)
+	}
+
+	indexOffset := cw.off
+	if _, err := cw.w.Write(idx.Bytes()); err != nil {
+		return err
+	}
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint64(foot[0:], indexOffset)
+	binary.LittleEndian.PutUint32(foot[8:], crc32.Checksum(idx.Bytes(), castagnoli))
+	copy(foot[12:], footerMagic[:])
+	_, err := cw.w.Write(foot[:])
+	return err
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; attr counts are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// Reader provides random access to a container via an io.ReaderAt.
+type Reader struct {
+	r     io.ReaderAt
+	index []chunkEntry
+	attrs map[string]string
+}
+
+// NewReader parses the footer and index of a container of the given total
+// size.
+func NewReader(r io.ReaderAt, size int64) (*Reader, error) {
+	if size < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+	}
+	var hdr [headerSize]byte
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != headerMagic {
+		return nil, fmt.Errorf("%w: bad header magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+
+	var foot [footerSize]byte
+	if _, err := r.ReadAt(foot[:], size-footerSize); err != nil {
+		return nil, err
+	}
+	if [4]byte(foot[12:]) != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	indexOffset := int64(binary.LittleEndian.Uint64(foot[0:]))
+	indexCRC := binary.LittleEndian.Uint32(foot[8:])
+	if indexOffset < headerSize || indexOffset > size-footerSize {
+		return nil, fmt.Errorf("%w: index offset %d out of range", ErrCorrupt, indexOffset)
+	}
+	idxBytes := make([]byte, size-footerSize-indexOffset)
+	if _, err := r.ReadAt(idxBytes, indexOffset); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(idxBytes, castagnoli) != indexCRC {
+		return nil, fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
+	}
+
+	cr := &Reader{r: r, attrs: make(map[string]string)}
+	if err := cr.parseIndex(idxBytes, uint64(indexOffset)); err != nil {
+		return nil, err
+	}
+	return cr, nil
+}
+
+func (cr *Reader) parseIndex(b []byte, indexOffset uint64) error {
+	get := func(n int) ([]byte, error) {
+		if len(b) < n {
+			return nil, fmt.Errorf("%w: truncated index", ErrCorrupt)
+		}
+		v := b[:n]
+		b = b[n:]
+		return v, nil
+	}
+	v, err := get(4)
+	if err != nil {
+		return err
+	}
+	count := binary.LittleEndian.Uint32(v)
+	cr.index = make([]chunkEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		v, err := get(20)
+		if err != nil {
+			return err
+		}
+		e := chunkEntry{
+			offset: binary.LittleEndian.Uint64(v[0:]),
+			size:   binary.LittleEndian.Uint64(v[8:]),
+			crc:    binary.LittleEndian.Uint32(v[16:]),
+		}
+		if e.offset < headerSize || e.offset+e.size > indexOffset {
+			return fmt.Errorf("%w: chunk %d extent out of range", ErrCorrupt, i)
+		}
+		cr.index = append(cr.index, e)
+	}
+	v, err = get(4)
+	if err != nil {
+		return err
+	}
+	attrCount := binary.LittleEndian.Uint32(v)
+	for i := uint32(0); i < attrCount; i++ {
+		v, err := get(2)
+		if err != nil {
+			return err
+		}
+		k, err := get(int(binary.LittleEndian.Uint16(v)))
+		if err != nil {
+			return err
+		}
+		v, err = get(4)
+		if err != nil {
+			return err
+		}
+		val, err := get(int(binary.LittleEndian.Uint32(v)))
+		if err != nil {
+			return err
+		}
+		cr.attrs[string(k)] = string(val)
+	}
+	return nil
+}
+
+// NumChunks returns the number of chunks in the container.
+func (cr *Reader) NumChunks() int { return len(cr.index) }
+
+// ChunkSize returns the byte size of chunk i.
+func (cr *Reader) ChunkSize(i int) (int64, error) {
+	if i < 0 || i >= len(cr.index) {
+		return 0, fmt.Errorf("chunk: index %d out of range [0,%d)", i, len(cr.index))
+	}
+	return int64(cr.index[i].size), nil
+}
+
+// Attr returns the attribute for key and whether it exists.
+func (cr *Reader) Attr(key string) (string, bool) {
+	v, ok := cr.attrs[key]
+	return v, ok
+}
+
+// ReadChunk returns the payload of chunk i, verifying its CRC.
+func (cr *Reader) ReadChunk(i int) ([]byte, error) {
+	if i < 0 || i >= len(cr.index) {
+		return nil, fmt.Errorf("chunk: index %d out of range [0,%d)", i, len(cr.index))
+	}
+	e := cr.index[i]
+	p := make([]byte, e.size)
+	if _, err := cr.r.ReadAt(p, int64(e.offset)); err != nil {
+		return nil, err
+	}
+	if crc32.Checksum(p, castagnoli) != e.crc {
+		return nil, fmt.Errorf("%w: chunk %d checksum mismatch", ErrCorrupt, i)
+	}
+	return p, nil
+}

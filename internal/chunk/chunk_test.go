@@ -1,0 +1,249 @@
+package chunk
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// memFile adapts a bytes.Buffer's contents to io.ReaderAt.
+type memFile []byte
+
+func (m memFile) ReadAt(p []byte, off int64) (int, error) {
+	n := copy(p, m[off:])
+	return n, nil
+}
+
+func buildContainer(t *testing.T, chunks [][]byte, attrs map[string]string) memFile {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for k, v := range attrs {
+		if err := w.SetAttr(k, v); err != nil {
+			t.Fatalf("SetAttr: %v", err)
+		}
+	}
+	for i, c := range chunks {
+		if err := w.WriteChunk(c); err != nil {
+			t.Fatalf("WriteChunk %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return memFile(buf.Bytes())
+}
+
+func TestRoundTrip(t *testing.T) {
+	chunks := [][]byte{
+		[]byte("projection zero"),
+		bytes.Repeat([]byte{7}, 4096),
+		{},
+		[]byte("last"),
+	}
+	attrs := map[string]string{"detector": "1920x2880", "dtype": "uint16"}
+	f := buildContainer(t, chunks, attrs)
+
+	r, err := NewReader(f, int64(len(f)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.NumChunks() != len(chunks) {
+		t.Fatalf("NumChunks = %d, want %d", r.NumChunks(), len(chunks))
+	}
+	for i, want := range chunks {
+		got, err := r.ReadChunk(i)
+		if err != nil {
+			t.Fatalf("ReadChunk(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+		size, err := r.ChunkSize(i)
+		if err != nil || size != int64(len(want)) {
+			t.Fatalf("ChunkSize(%d) = (%d, %v), want %d", i, size, err, len(want))
+		}
+	}
+	for k, want := range attrs {
+		got, ok := r.Attr(k)
+		if !ok || got != want {
+			t.Fatalf("Attr(%q) = (%q, %v), want %q", k, got, ok, want)
+		}
+	}
+	if _, ok := r.Attr("missing"); ok {
+		t.Fatal("Attr reported a missing key as present")
+	}
+}
+
+func TestEmptyContainer(t *testing.T) {
+	f := buildContainer(t, nil, nil)
+	r, err := NewReader(f, int64(len(f)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if r.NumChunks() != 0 {
+		t.Fatalf("NumChunks = %d, want 0", r.NumChunks())
+	}
+}
+
+func TestReadChunkOutOfRange(t *testing.T) {
+	f := buildContainer(t, [][]byte{[]byte("x")}, nil)
+	r, err := NewReader(f, int64(len(f)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.ReadChunk(-1); err == nil {
+		t.Fatal("ReadChunk(-1) succeeded")
+	}
+	if _, err := r.ReadChunk(1); err == nil {
+		t.Fatal("ReadChunk(1) succeeded")
+	}
+	if _, err := r.ChunkSize(5); err == nil {
+		t.Fatal("ChunkSize(5) succeeded")
+	}
+}
+
+func TestDetectsPayloadCorruption(t *testing.T) {
+	f := buildContainer(t, [][]byte{bytes.Repeat([]byte("data"), 100)}, nil)
+	f[headerSize+10] ^= 0xff
+	r, err := NewReader(f, int64(len(f)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.ReadChunk(0); err == nil {
+		t.Fatal("corrupted chunk passed CRC")
+	}
+}
+
+func TestDetectsIndexCorruption(t *testing.T) {
+	f := buildContainer(t, [][]byte{[]byte("abc")}, nil)
+	f[len(f)-footerSize-2] ^= 0xff // inside the index
+	if _, err := NewReader(f, int64(len(f))); err == nil {
+		t.Fatal("corrupted index accepted")
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	f := buildContainer(t, [][]byte{[]byte("abc")}, nil)
+	bad := append(memFile{}, f...)
+	copy(bad[:4], "XXXX")
+	if _, err := NewReader(bad, int64(len(bad))); err == nil {
+		t.Fatal("bad header magic accepted")
+	}
+	bad2 := append(memFile{}, f...)
+	copy(bad2[len(bad2)-4:], "XXXX")
+	if _, err := NewReader(bad2, int64(len(bad2))); err == nil {
+		t.Fatal("bad footer magic accepted")
+	}
+}
+
+func TestRejectsTruncatedFile(t *testing.T) {
+	if _, err := NewReader(memFile("short"), 5); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := w.WriteChunk([]byte("x")); err == nil {
+		t.Fatal("WriteChunk after Close succeeded")
+	}
+	if err := w.SetAttr("k", "v"); err == nil {
+		t.Fatal("SetAttr after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		chunks := make([][]byte, int(n)%10)
+		for i := range chunks {
+			chunks[i] = make([]byte, rng.Intn(2000))
+			rng.Read(chunks[i])
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, c := range chunks {
+			if err := w.WriteChunk(c); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(memFile(buf.Bytes()), int64(buf.Len()))
+		if err != nil || r.NumChunks() != len(chunks) {
+			return false
+		}
+		for i, want := range chunks {
+			got, err := r.ReadChunk(i)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAttrsRoundTrip(t *testing.T) {
+	f := func(keys []string, vals []string) bool {
+		attrs := make(map[string]string)
+		for i, k := range keys {
+			if len(k) > 1000 {
+				continue
+			}
+			v := ""
+			if i < len(vals) {
+				v = vals[i]
+			}
+			attrs[k] = v
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for k, v := range attrs {
+			if err := w.SetAttr(k, v); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(memFile(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			return false
+		}
+		for k, want := range attrs {
+			got, ok := r.Attr(k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

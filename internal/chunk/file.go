@@ -1,0 +1,67 @@
+package chunk
+
+import (
+	"fmt"
+	"os"
+)
+
+// File-level conveniences: the tools and DAQ-side code work with
+// container files on disk.
+
+// CreateFile starts a new container file at path. Close the returned
+// writer, then the file.
+func CreateFile(path string) (*Writer, *os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chunk: creating %s: %w", path, err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, f, nil
+}
+
+// OpenFile opens a container file for random access. Close the returned
+// file when done with the reader.
+func OpenFile(path string) (*Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chunk: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+// WriteFile writes a whole container (chunks plus attributes) to path.
+func WriteFile(path string, chunks [][]byte, attrs map[string]string) error {
+	w, f, err := CreateFile(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for k, v := range attrs {
+		if err := w.SetAttr(k, v); err != nil {
+			return err
+		}
+	}
+	for i, c := range chunks {
+		if err := w.WriteChunk(c); err != nil {
+			return fmt.Errorf("chunk: writing chunk %d: %w", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}

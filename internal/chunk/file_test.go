@@ -1,0 +1,65 @@
+package chunk
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scan.nscf")
+	chunks := [][]byte{[]byte("proj-0"), bytes.Repeat([]byte{9}, 1000)}
+	attrs := map[string]string{"detector": "64x64"}
+	if err := WriteFile(path, chunks, attrs); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	r, f, err := OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer f.Close()
+	if r.NumChunks() != 2 {
+		t.Fatalf("NumChunks = %d", r.NumChunks())
+	}
+	got, err := r.ReadChunk(1)
+	if err != nil || !bytes.Equal(got, chunks[1]) {
+		t.Fatalf("ReadChunk: %v", err)
+	}
+	if v, ok := r.Attr("detector"); !ok || v != "64x64" {
+		t.Fatalf("Attr = %q, %v", v, ok)
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, _, err := OpenFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file opened")
+	}
+}
+
+func TestOpenFileCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.nscf")
+	if err := WriteFile(path, [][]byte{[]byte("x")}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the footer off.
+	data, err := readAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeAll(path, data[:len(data)-4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenFile(path); err == nil {
+		t.Fatal("corrupt file opened")
+	}
+}
+
+func TestCreateFileBadPath(t *testing.T) {
+	if _, _, err := CreateFile(t.TempDir() + "/no/such/dir/x"); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func readAll(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeAll(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

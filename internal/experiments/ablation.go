@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numastream/internal/hw"
+	"numastream/internal/netsim"
+	"numastream/internal/runtime"
+	"numastream/internal/sim"
+)
+
+// Ablations: each figure's headline effect traced to the model mechanism
+// that produces it (DESIGN.md §6). Every ablation runs the relevant
+// experiment twice — once on the calibrated machine and once with one
+// mechanism disabled — and returns the effect size under both, so the
+// benches (and EXPERIMENTS.md) can show the effect vanishing.
+
+// AblationResult is one mechanism's contribution to one effect.
+type AblationResult struct {
+	Mechanism string  // which knob was disabled
+	Effect    string  // what is being measured
+	With      float64 // effect size on the calibrated machine
+	Without   float64 // effect size with the mechanism disabled
+}
+
+// mutator edits a machine config before the run.
+type mutator func(*hw.Config)
+
+// ablationNetworkGap measures Fig 11's local-vs-remote receive gap (the
+// B-over-A boost at 2 thread pairs) on machines built with mutate.
+func ablationNetworkGap(mutate mutator) (float64, error) {
+	run := func(recvSocket int) (float64, error) {
+		eng := sim.NewEngine()
+		sndCfg := hw.UpdraftConfig("updraft1")
+		rcvCfg := hw.LynxdtnConfig()
+		if mutate != nil {
+			mutate(&sndCfg)
+			mutate(&rcvCfg)
+		}
+		snd := runtime.NewSimNode(hw.New(eng, sndCfg), 11)
+		rcv := runtime.NewSimNode(hw.New(eng, rcvCfg), 12)
+		link := netsim.NewLink(eng, "aps", hw.BytesPerSec(100), 0.45e-3)
+		path := netsim.NewPath(eng, snd.M, hw.DataNIC(snd.M), link, rcv.M, hw.DataNIC(rcv.M))
+		st := &runtime.Stream{
+			Spec:   runtime.StreamSpec{Name: "abl", Chunks: 200, ChunkBytes: Fig11ChunkBytes},
+			Sender: snd,
+			SenderCfg: runtime.NodeConfig{Node: "s", Role: runtime.Sender,
+				Groups: []runtime.TaskGroup{{Type: runtime.Send, Count: 2, Placement: runtime.SplitAll()}}},
+			Receiver: rcv,
+			ReceiverCfg: runtime.NodeConfig{Node: "r", Role: runtime.Receiver,
+				Groups: []runtime.TaskGroup{{Type: runtime.Receive, Count: 2, Placement: runtime.PinTo(recvSocket)}}},
+			Path: path,
+		}
+		if err := (&runtime.Runner{Eng: eng, Streams: []*runtime.Stream{st}}).Run(); err != nil {
+			return 0, err
+		}
+		return st.EndToEndBps(), nil
+	}
+	local, err := run(1)
+	if err != nil {
+		return 0, err
+	}
+	remote, err := run(0)
+	if err != nil {
+		return 0, err
+	}
+	return (local - remote) / remote, nil
+}
+
+// AblateRemotePenalty shows Fig 11's ~15% NIC-local receive boost is
+// produced by the remote-access stall: with RemotePenalty zeroed the
+// boost collapses.
+func AblateRemotePenalty() (AblationResult, error) {
+	with, err := ablationNetworkGap(nil)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	without, err := ablationNetworkGap(func(c *hw.Config) { c.RemotePenalty = 0 })
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Mechanism: "remote-access stall (RemotePenalty)",
+		Effect:    "Fig 11 local-over-remote receive boost",
+		With:      with,
+		Without:   without,
+	}, nil
+}
+
+// ablationDecompressGap measures Fig 9's split-over-single-socket gap at
+// 16 decompression threads on a machine built with mutate.
+func ablationDecompressGap(mutate mutator) float64 {
+	run := func(exec runtime.Placement) float64 {
+		eng := sim.NewEngine()
+		cfg := hw.LynxdtnConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		node := runtime.NewSimNode(hw.New(eng, cfg), 21)
+		cores, _ := runtime.PlaceGroup(node, runtime.TaskGroup{
+			Type: runtime.Decompress, Count: 16, Placement: exec})
+		chunks := 512
+		remaining := chunks
+		var finish float64
+		for _, core := range cores {
+			core := core
+			var loop func()
+			loop = func() {
+				if remaining == 0 {
+					return
+				}
+				remaining--
+				done := node.M.Exec(eng.Now(), core, hw.Op{
+					Compute:       ChunkBytes / node.Rates.Decompress,
+					ReadBytes:     ChunkBytes / hw.CompressionRatio,
+					ReadSocket:    0,
+					WriteBytes:    ChunkBytes,
+					WriteSocket:   core.Socket,
+					Prefetchable:  true,
+					WriteAllocate: true,
+				})
+				if done > finish {
+					finish = done
+				}
+				eng.Schedule(done, loop)
+			}
+			eng.After(0, loop)
+		}
+		eng.Run()
+		return float64(chunks) * ChunkBytes / finish
+	}
+	single := run(runtime.PinTo(0))
+	split := run(runtime.SplitAll())
+	return (split - single) / single
+}
+
+// AblateUncoreContention shows Fig 9's E/F win at 16 threads is produced
+// by the per-socket uncore budget: with the budget effectively removed
+// the gap collapses.
+func AblateUncoreContention() AblationResult {
+	return AblationResult{
+		Mechanism: "per-socket LLC/uncore budget (SocketUncoreBW)",
+		Effect:    "Fig 9 split-over-single-socket decompression gap at 16 threads",
+		With:      ablationDecompressGap(nil),
+		Without:   ablationDecompressGap(func(c *hw.Config) { c.UncoreBW = 1e15 }),
+	}
+}
+
+// ablationCompressDecline measures Fig 8's throughput decline from 16 to
+// 64 threads on one socket (configuration A) on a machine built with
+// mutate.
+func ablationCompressDecline(mutate mutator) float64 {
+	run := func(threads int) float64 {
+		eng := sim.NewEngine()
+		cfg := hw.LynxdtnConfig()
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		node := runtime.NewSimNode(hw.New(eng, cfg), 31)
+		cores, _ := runtime.PlaceGroup(node, runtime.TaskGroup{
+			Type: runtime.Compress, Count: threads, Placement: runtime.PinTo(0)})
+		chunks := 512
+		remaining := chunks
+		var finish float64
+		for _, core := range cores {
+			core := core
+			var loop func()
+			loop = func() {
+				if remaining == 0 {
+					return
+				}
+				remaining--
+				done := node.M.Exec(eng.Now(), core, hw.Op{
+					Compute:       ChunkBytes / node.Rates.Compress,
+					ReadBytes:     ChunkBytes,
+					ReadSocket:    0,
+					WriteBytes:    ChunkBytes / hw.CompressionRatio,
+					WriteSocket:   core.Socket,
+					Prefetchable:  true,
+					WriteAllocate: true,
+				})
+				if done > finish {
+					finish = done
+				}
+				eng.Schedule(done, loop)
+			}
+			eng.After(0, loop)
+		}
+		eng.Run()
+		return float64(chunks) * ChunkBytes / finish
+	}
+	at16 := run(16)
+	at64 := run(64)
+	return (at16 - at64) / at16
+}
+
+// AblateContextSwitchTax shows Fig 8's decline beyond one thread per
+// core is produced by the context-switch tax.
+func AblateContextSwitchTax() AblationResult {
+	return AblationResult{
+		Mechanism: "co-location context-switch tax (CtxSwitchTax)",
+		Effect:    "Fig 8 throughput decline from 16 to 64 threads on one socket",
+		With:      ablationCompressDecline(nil),
+		Without:   ablationCompressDecline(func(c *hw.Config) { c.CtxSwitchTax = 0 }),
+	}
+}
+
+// AblateMigrationTax shows Fig 14's runtime-over-OS factor depends on
+// the OS-scheduling inefficiency model: with the migration tax zeroed
+// the factor shrinks toward pure placement effects.
+func AblateMigrationTax() (AblationResult, error) {
+	withRT, withOS, err := fig14Totals(nil)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	woRT, woOS, err := fig14Totals(func(c *hw.Config) { c.MigrationTax = 0 })
+	if err != nil {
+		return AblationResult{}, err
+	}
+	return AblationResult{
+		Mechanism: "OS thread-migration tax (MigrationTax)",
+		Effect:    "Fig 14 runtime-over-OS end-to-end factor",
+		With:      withRT / withOS,
+		Without:   woRT / woOS,
+	}, nil
+}
+
+// fig14Totals reruns the Figure 14 deployment with mutated machine
+// configs and returns cumulative end-to-end Gbps for both modes.
+func fig14Totals(mutate mutator) (rtTotal, osTotal float64, err error) {
+	for _, mode := range []Fig14Mode{ModeRuntime, ModeOS} {
+		eng := sim.NewEngine()
+		rcvCfg := hw.LynxdtnConfig()
+		if mutate != nil {
+			mutate(&rcvCfg)
+		}
+		rcv := runtime.NewSimNode(hw.New(eng, rcvCfg), 31)
+		link := netsim.NewLink(eng, "aps-alcf", hw.BytesPerSec(200), 0.45e-3)
+
+		senderCfgs := []hw.Config{
+			hw.UpdraftConfig("updraft1"), hw.UpdraftConfig("updraft2"),
+			hw.PolarisConfig("polaris1"), hw.PolarisConfig("polaris2"),
+		}
+		var streams []*runtime.Stream
+		for i, scfg := range senderCfgs {
+			if mutate != nil {
+				mutate(&scfg)
+			}
+			snd := runtime.NewSimNode(hw.New(eng, scfg), int64(41+i))
+			sCfg := runtime.NodeConfig{Node: scfg.Name, Role: runtime.Sender,
+				Groups: []runtime.TaskGroup{
+					{Type: runtime.Compress, Count: 32, Placement: runtime.SplitAll()},
+					{Type: runtime.Send, Count: 4, Placement: runtime.SplitAll()},
+				}}
+			rCfg := runtime.NodeConfig{Node: "lynxdtn", Role: runtime.Receiver,
+				Groups: []runtime.TaskGroup{
+					{Type: runtime.Receive, Count: 4, Placement: runtime.PinTo(1)},
+					{Type: runtime.Decompress, Count: 4, Placement: runtime.PinTo(0)},
+				}}
+			if mode == ModeOS {
+				sCfg = runtime.GenerateOSBaseline(sCfg)
+				rCfg = runtime.GenerateOSBaseline(rCfg)
+			}
+			streams = append(streams, &runtime.Stream{
+				Spec: runtime.StreamSpec{
+					Name: fmt.Sprintf("s%d", i), Chunks: 120,
+					ChunkBytes: ChunkBytes, Ratio: hw.CompressionRatio,
+				},
+				Sender: snd, SenderCfg: sCfg,
+				Receiver: rcv, ReceiverCfg: rCfg,
+				Path: netsim.NewPath(eng, snd.M, hw.DataNIC(snd.M), link, rcv.M, hw.DataNIC(rcv.M)),
+			})
+		}
+		if err := (&runtime.Runner{Eng: eng, Streams: streams}).Run(); err != nil {
+			return 0, 0, err
+		}
+		total := 0.0
+		for _, st := range streams {
+			total += hw.Gbps(st.EndToEndBps())
+		}
+		if mode == ModeRuntime {
+			rtTotal = total
+		} else {
+			osTotal = total
+		}
+	}
+	return rtTotal, osTotal, nil
+}

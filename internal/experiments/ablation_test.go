@@ -1,0 +1,58 @@
+package experiments
+
+import "testing"
+
+// Each ablation must show a substantial effect on the calibrated machine
+// that collapses when its mechanism is disabled — the evidence that the
+// figures emerge from the model rather than from per-experiment
+// hard-coding.
+
+func TestAblateRemotePenalty(t *testing.T) {
+	r, err := AblateRemotePenalty()
+	if err != nil {
+		t.Fatalf("AblateRemotePenalty: %v", err)
+	}
+	if r.With < 0.08 {
+		t.Errorf("calibrated local-over-remote boost = %.3f, want ~0.15", r.With)
+	}
+	if r.Without > r.With/3 {
+		t.Errorf("boost without remote penalty = %.3f, should collapse (with: %.3f)", r.Without, r.With)
+	}
+}
+
+func TestAblateUncoreContention(t *testing.T) {
+	r := AblateUncoreContention()
+	if r.With < 0.03 {
+		t.Errorf("calibrated split-over-single gap = %.3f, want noticeable", r.With)
+	}
+	if r.Without > 0.01 {
+		t.Errorf("gap without uncore budget = %.3f, should vanish", r.Without)
+	}
+}
+
+func TestAblateContextSwitchTax(t *testing.T) {
+	r := AblateContextSwitchTax()
+	if r.With < 0.03 {
+		t.Errorf("calibrated 16->64 thread decline = %.3f, want noticeable", r.With)
+	}
+	if r.Without > 0.01 {
+		t.Errorf("decline without context-switch tax = %.3f, should vanish", r.Without)
+	}
+}
+
+func TestAblateMigrationTax(t *testing.T) {
+	r, err := AblateMigrationTax()
+	if err != nil {
+		t.Fatalf("AblateMigrationTax: %v", err)
+	}
+	if r.With < 1.2 {
+		t.Errorf("calibrated runtime/OS factor = %.2f, want >= 1.2", r.With)
+	}
+	if r.Without >= r.With {
+		t.Errorf("factor without migration tax = %.2f, should shrink below %.2f", r.Without, r.With)
+	}
+	// Placement effects alone must still favor the runtime.
+	if r.Without < 1.0 {
+		t.Errorf("factor without migration tax = %.2f, placement alone should not invert", r.Without)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV emitters: machine-readable counterparts of the report renderers,
+// for plotting the regenerated figures against the paper's.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CSVFig5 writes Figure 5 rows: processes, placement, gbps.
+func CSVFig5(w io.Writer, results []Fig5Result) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprint(r.Processes), r.Placement, fmt.Sprintf("%.2f", r.Gbps),
+		})
+	}
+	return writeCSV(w, []string{"processes", "placement", "gbps"}, rows)
+}
+
+// CSVCodec writes Fig 8a/9a rows: config, threads, gbps.
+func CSVCodec(w io.Writer, results []CodecResult) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Config, fmt.Sprint(r.Threads), fmt.Sprintf("%.2f", r.Gbps),
+		})
+	}
+	return writeCSV(w, []string{"config", "threads", "gbps"}, rows)
+}
+
+// CSVFig11 writes Figure 11 rows: config, threads, gbps.
+func CSVFig11(w io.Writer, results []Fig11Result) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Config, fmt.Sprint(r.Threads), fmt.Sprintf("%.2f", r.Gbps),
+		})
+	}
+	return writeCSV(w, []string{"config", "threads", "gbps"}, rows)
+}
+
+// CSVFig12 writes Figure 12 rows: config, threads, recv domain, e2e and
+// network gbps.
+func CSVFig12(w io.Writer, results []Fig12Result) error {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Config, fmt.Sprint(r.Threads), fmt.Sprint(r.RecvDomain),
+			fmt.Sprintf("%.2f", r.E2EGbps), fmt.Sprintf("%.2f", r.NetGbps),
+		})
+	}
+	return writeCSV(w, []string{"config", "threads", "recv_domain", "e2e_gbps", "net_gbps"}, rows)
+}
+
+// CSVFig14 writes Figure 14 rows: mode, stream, network and e2e gbps
+// (with a "total" row per mode).
+func CSVFig14(w io.Writer, results ...Fig14Result) error {
+	var rows [][]string
+	for _, res := range results {
+		for _, s := range res.Streams {
+			rows = append(rows, []string{
+				string(res.Mode), s.Stream,
+				fmt.Sprintf("%.2f", s.NetGbps), fmt.Sprintf("%.2f", s.E2EGbps),
+			})
+		}
+		rows = append(rows, []string{
+			string(res.Mode), "total",
+			fmt.Sprintf("%.2f", res.TotalNet), fmt.Sprintf("%.2f", res.TotalE2E),
+		})
+	}
+	return writeCSV(w, []string{"mode", "stream", "net_gbps", "e2e_gbps"}, rows)
+}

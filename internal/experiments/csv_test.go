@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, b *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(b).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	return rows
+}
+
+func TestCSVFig5(t *testing.T) {
+	var b bytes.Buffer
+	err := CSVFig5(&b, []Fig5Result{{Processes: 32, Placement: "N1", Gbps: 192.04}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &b)
+	if len(rows) != 2 || rows[1][0] != "32" || rows[1][1] != "N1" || rows[1][2] != "192.04" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCSVCodecAndFig11(t *testing.T) {
+	var b bytes.Buffer
+	if err := CSVCodec(&b, []CodecResult{{Config: "A", Threads: 8, Gbps: 37}}); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &b); rows[1][0] != "A" || rows[1][2] != "37.00" {
+		t.Fatalf("codec rows = %v", rows)
+	}
+	b.Reset()
+	if err := CSVFig11(&b, []Fig11Result{{Config: "B", Threads: 3, Gbps: 99}}); err != nil {
+		t.Fatal(err)
+	}
+	if rows := parseCSV(t, &b); rows[1][1] != "3" {
+		t.Fatalf("fig11 rows = %v", rows)
+	}
+}
+
+func TestCSVFig12(t *testing.T) {
+	var b bytes.Buffer
+	err := CSVFig12(&b, []Fig12Result{{Config: "F", Threads: 8, RecvDomain: 1, E2EGbps: 111, NetGbps: 55.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &b)
+	if rows[0][3] != "e2e_gbps" || rows[1][3] != "111.00" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestCSVFig14(t *testing.T) {
+	var b bytes.Buffer
+	err := CSVFig14(&b,
+		Fig14Result{Mode: ModeRuntime,
+			Streams:  []Fig14StreamResult{{Stream: "stream-1", NetGbps: 25, E2EGbps: 50}},
+			TotalNet: 25, TotalE2E: 50},
+		Fig14Result{Mode: ModeOS, TotalNet: 18, TotalE2E: 36},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "runtime,stream-1,25.00,50.00") ||
+		!strings.Contains(out, "os,total,18.00,36.00") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numastream/internal/hw"
+	"numastream/internal/netsim"
+	"numastream/internal/runtime"
+	"numastream/internal/sim"
+)
+
+// Fig 11 (§3.4): network throughput between updraft1 and lynxdtn (100
+// Gbps sender NIC) as the number of symmetric send/receive thread pairs
+// grows, for the Table 2 sender/receiver placement configurations.
+// Compression is disabled; chunks are "the average compressed chunk
+// size".
+
+// Fig11ChunkBytes is half a projection: the average LZ4-compressed chunk.
+const Fig11ChunkBytes = ChunkBytes / 2
+
+// Fig11ThreadCounts is the thread-pair sweep.
+var Fig11ThreadCounts = []int{1, 2, 3, 4, 5, 6, 7, 8}
+
+// Fig11Result is one point of Figure 11.
+type Fig11Result struct {
+	Config  string
+	Threads int
+	Gbps    float64
+}
+
+// Fig11Network reproduces Figure 11.
+func Fig11Network(threadCounts []int) ([]Fig11Result, error) {
+	if threadCounts == nil {
+		threadCounts = Fig11ThreadCounts
+	}
+	var out []Fig11Result
+	for _, cfg := range Table2Configs() {
+		for _, n := range threadCounts {
+			gbps, err := runFig11Cell(cfg, n)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig11Result{Config: cfg.Label, Threads: n, Gbps: gbps})
+		}
+	}
+	return out, nil
+}
+
+func runFig11Cell(cfg NetPlacementConfig, threads int) (float64, error) {
+	eng := sim.NewEngine()
+	snd := runtime.NewSimNode(hw.NewUpdraft(eng, "updraft1"), 11)
+	rcv := runtime.NewSimNode(hw.NewLynxdtn(eng), 12)
+	link := netsim.NewLink(eng, "aps", hw.BytesPerSec(100), 0.45e-3)
+	path := netsim.NewPath(eng, snd.M, hw.DataNIC(snd.M), link, rcv.M, hw.DataNIC(rcv.M))
+
+	st := &runtime.Stream{
+		Spec: runtime.StreamSpec{
+			Name:       fmt.Sprintf("fig11-%s-%d", cfg.Label, threads),
+			Chunks:     300,
+			ChunkBytes: Fig11ChunkBytes,
+		},
+		Sender: snd,
+		SenderCfg: runtime.NodeConfig{
+			Node: "updraft1", Role: runtime.Sender,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Send, Count: threads, Placement: cfg.Sender},
+			},
+		},
+		Receiver: rcv,
+		ReceiverCfg: runtime.NodeConfig{
+			Node: "lynxdtn", Role: runtime.Receiver,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Receive, Count: threads, Placement: cfg.Receiver},
+			},
+		},
+		Path: path,
+	}
+	if err := (&runtime.Runner{Eng: eng, Streams: []*runtime.Stream{st}}).Run(); err != nil {
+		return 0, err
+	}
+	return hw.Gbps(st.EndToEndBps()), nil
+}

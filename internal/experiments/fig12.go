@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numastream/internal/hw"
+	"numastream/internal/netsim"
+	"numastream/internal/runtime"
+	"numastream/internal/sim"
+)
+
+// Fig 12 (§4.1): end-to-end single-stream throughput on the
+// updraft1→lynxdtn pair for the Table 3 compression/decompression thread
+// configurations, sweeping the number of send/receive thread pairs and
+// the receiver threads' execution domain. Decompression threads are
+// placed on the domain opposite the receive threads, the runtime's
+// default rule.
+
+// Fig12ThreadCounts is the send/receive thread-pair sweep.
+var Fig12ThreadCounts = []int{1, 2, 4, 8}
+
+// Fig12Result is one bar of Figure 12, annotated with the stage whose
+// input queue ran fullest — §4.1's observation that "the bottlenecks
+// within the end-to-end pipeline shift across different segments" as
+// thread counts change.
+type Fig12Result struct {
+	Config     string
+	Threads    int // send/receive thread pairs
+	RecvDomain int // execution domain of the receive threads
+	E2EGbps    float64
+	NetGbps    float64
+	Bottleneck string
+}
+
+// Fig12EndToEnd reproduces Figure 12.
+func Fig12EndToEnd(threadCounts []int) ([]Fig12Result, error) {
+	if threadCounts == nil {
+		threadCounts = Fig12ThreadCounts
+	}
+	var out []Fig12Result
+	for _, cfg := range Table3Configs() {
+		for _, n := range threadCounts {
+			for _, dom := range []int{0, 1} {
+				r, err := runFig12Cell(cfg, n, dom)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+func runFig12Cell(cfg ThreadsConfig, threads, recvDomain int) (Fig12Result, error) {
+	eng := sim.NewEngine()
+	snd := runtime.NewSimNode(hw.NewUpdraft(eng, "updraft1"), 21)
+	rcv := runtime.NewSimNode(hw.NewLynxdtn(eng), 22)
+	link := netsim.NewLink(eng, "aps", hw.BytesPerSec(100), 0.45e-3)
+	path := netsim.NewPath(eng, snd.M, hw.DataNIC(snd.M), link, rcv.M, hw.DataNIC(rcv.M))
+
+	st := &runtime.Stream{
+		Spec: runtime.StreamSpec{
+			Name:       fmt.Sprintf("fig12-%s-%dt-N%d", cfg.Label, threads, recvDomain),
+			Chunks:     200,
+			ChunkBytes: ChunkBytes,
+			Ratio:      hw.CompressionRatio,
+		},
+		Sender: snd,
+		SenderCfg: runtime.NodeConfig{
+			Node: "updraft1", Role: runtime.Sender,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Compress, Count: cfg.Compress, Placement: runtime.SplitAll()},
+				{Type: runtime.Send, Count: threads, Placement: runtime.SplitAll()},
+			},
+		},
+		Receiver: rcv,
+		ReceiverCfg: runtime.NodeConfig{
+			Node: "lynxdtn", Role: runtime.Receiver,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Receive, Count: threads, Placement: runtime.PinTo(recvDomain)},
+				{Type: runtime.Decompress, Count: cfg.Decompress, Placement: runtime.PinTo(1 - recvDomain)},
+			},
+		},
+		Path: path,
+	}
+	if err := (&runtime.Runner{Eng: eng, Streams: []*runtime.Stream{st}}).Run(); err != nil {
+		return Fig12Result{}, err
+	}
+	return Fig12Result{
+		Config:     cfg.Label,
+		Threads:    threads,
+		RecvDomain: recvDomain,
+		E2EGbps:    hw.Gbps(st.EndToEndBps()),
+		NetGbps:    hw.Gbps(st.NetworkBps()),
+		Bottleneck: st.Bottleneck(),
+	}, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numastream/internal/hw"
+	"numastream/internal/netsim"
+	"numastream/internal/runtime"
+	"numastream/internal/sim"
+)
+
+// Compression-ratio sweep (extension of §1's arithmetic): "consider a
+// system operating at 100 Gbps; if some cores are employed for
+// compression at a 2X compression ratio, the effective data transfer
+// rate is effectively doubled to 200 Gbps". This sweep varies the
+// achieved ratio and shows the two regimes: network-bound (effective
+// rate = ratio × link) while compression capacity lasts, then
+// compute-bound (effective rate = compression throughput) beyond.
+
+// RatioResult is one sweep point.
+type RatioResult struct {
+	Ratio      float64
+	E2EGbps    float64
+	NetGbps    float64
+	Bottleneck string
+}
+
+// RatioSweep measures end-to-end throughput across compression ratios
+// with a full 32-thread compressor (≈148 Gbps of input capacity) and an
+// 8-thread network path over a 100 Gbps link, exposing both regimes:
+// link-bound at low ratios, compression-bound once ratio × link exceeds
+// the compressor.
+func RatioSweep(ratios []float64) ([]RatioResult, error) {
+	if ratios == nil {
+		ratios = []float64{1, 1.5, 2, 3, 4}
+	}
+	var out []RatioResult
+	for _, ratio := range ratios {
+		if ratio < 1 {
+			return nil, fmt.Errorf("experiments: ratio %v < 1", ratio)
+		}
+		r, err := runRatioCell(ratio)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runRatioCell(ratio float64) (RatioResult, error) {
+	eng := sim.NewEngine()
+	snd := runtime.NewSimNode(hw.NewUpdraft(eng, "updraft1"), 51)
+	rcv := runtime.NewSimNode(hw.NewLynxdtn(eng), 52)
+	link := netsim.NewLink(eng, "aps", hw.BytesPerSec(100), 0.45e-3)
+	path := netsim.NewPath(eng, snd.M, hw.DataNIC(snd.M), link, rcv.M, hw.DataNIC(rcv.M))
+
+	st := &runtime.Stream{
+		Spec: runtime.StreamSpec{
+			Name: fmt.Sprintf("ratio-%.1f", ratio), Chunks: 150,
+			ChunkBytes: ChunkBytes, Ratio: ratio,
+		},
+		Sender: snd,
+		SenderCfg: runtime.NodeConfig{Node: "updraft1", Role: runtime.Sender,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Compress, Count: 32, Placement: runtime.SplitAll()},
+				{Type: runtime.Send, Count: 8, Placement: runtime.SplitAll()},
+			}},
+		Receiver: rcv,
+		ReceiverCfg: runtime.NodeConfig{Node: "lynxdtn", Role: runtime.Receiver,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Receive, Count: 8, Placement: runtime.PinTo(1)},
+				{Type: runtime.Decompress, Count: 16, Placement: runtime.PinTo(0)},
+			}},
+		Path: path,
+	}
+	if err := (&runtime.Runner{Eng: eng, Streams: []*runtime.Stream{st}}).Run(); err != nil {
+		return RatioResult{}, err
+	}
+	return RatioResult{
+		Ratio:      ratio,
+		E2EGbps:    hw.Gbps(st.EndToEndBps()),
+		NetGbps:    hw.Gbps(st.NetworkBps()),
+		Bottleneck: st.Bottleneck(),
+	}, nil
+}
+
+// FormatRatio renders the sweep.
+func FormatRatio(results []RatioResult) string {
+	out := "Compression-ratio sweep (extension of §1): effective rate vs ratio\n"
+	out += fmt.Sprintf("%8s %10s %10s %12s\n", "ratio", "e2e Gbps", "net Gbps", "bottleneck")
+	for _, r := range results {
+		out += fmt.Sprintf("%7.1fx %10.1f %10.1f %12s\n", r.Ratio, r.E2EGbps, r.NetGbps, r.Bottleneck)
+	}
+	return out
+}

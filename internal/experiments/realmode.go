@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"numastream/internal/metrics"
+	"numastream/internal/pipeline"
+	"numastream/internal/runtime"
+
+	hostnuma "numastream/internal/numa"
+)
+
+// Real-execution measurement: unlike the figure harnesses (which drive
+// machine models), this runs the actual goroutine pipeline — real LZ4,
+// real TCP over loopback, real (attempted) thread pinning — and reports
+// measured wall-clock throughput. On a laptop or CI box the absolute
+// numbers reflect that machine, not the paper's testbed; the harness
+// exists so the library's real mode is measurable anywhere.
+
+// RealResult is one real-mode measurement.
+type RealResult struct {
+	CompressThreads int
+	Chunks          int
+	ChunkBytes      int
+	E2EGbps         float64 // uncompressed delivery rate
+	WireGbps        float64 // bytes actually sent
+	Ratio           float64 // achieved compression ratio
+}
+
+// RealLoopback streams `chunks` compressible chunks through the real
+// pipeline on loopback with the given compression thread count and
+// measures delivery throughput.
+func RealLoopback(compressThreads, chunks, chunkBytes int) (RealResult, error) {
+	if compressThreads < 1 || chunks < 1 || chunkBytes < 1 {
+		return RealResult{}, fmt.Errorf("experiments: invalid real-mode parameters")
+	}
+	topo, _ := hostnuma.Discover()
+
+	sCfg := runtime.NodeConfig{Node: "real-src", Role: runtime.Sender,
+		Groups: []runtime.TaskGroup{
+			{Type: runtime.Compress, Count: compressThreads, Placement: runtime.OS()},
+			{Type: runtime.Send, Count: 2, Placement: runtime.OS()},
+		}}
+	rCfg := runtime.NodeConfig{Node: "real-gw", Role: runtime.Receiver,
+		Groups: []runtime.TaskGroup{
+			{Type: runtime.Receive, Count: 2, Placement: runtime.OS()},
+			{Type: runtime.Decompress, Count: compressThreads, Placement: runtime.OS()},
+		}}
+
+	// Projection-like payload: half structured, half noise, ~2:1.
+	rng := rand.New(rand.NewSource(7))
+	payload := make([]byte, chunkBytes)
+	rng.Read(payload[:chunkBytes/2])
+	copy(payload[chunkBytes/2:], bytes.Repeat([]byte{0x11, 0x11, 0x22, 0x22}, chunkBytes/8+1)[:chunkBytes-chunkBytes/2])
+
+	ready := make(chan string, 1)
+	recvReg := metrics.NewRegistry()
+	sndReg := metrics.NewRegistry()
+	recvErr := make(chan error, 1)
+	go func() {
+		recvErr <- pipeline.RunReceiver(pipeline.ReceiverOptions{
+			Cfg: rCfg, Topo: topo, Bind: "127.0.0.1:0",
+			Expect: chunks, Ready: ready, Metrics: recvReg,
+		})
+	}()
+	addr := <-ready
+
+	var mu sync.Mutex
+	sent := 0
+	if err := pipeline.RunSender(pipeline.SenderOptions{
+		Cfg: sCfg, Topo: topo, Peers: []string{addr}, Metrics: sndReg,
+		Source: func() []byte {
+			mu.Lock()
+			defer mu.Unlock()
+			if sent >= chunks {
+				return nil
+			}
+			sent++
+			return payload
+		},
+	}); err != nil {
+		return RealResult{}, err
+	}
+	if err := <-recvErr; err != nil {
+		return RealResult{}, err
+	}
+
+	res := RealResult{CompressThreads: compressThreads, Chunks: chunks, ChunkBytes: chunkBytes}
+	for _, s := range recvReg.Snapshots() {
+		switch s.Name {
+		case "decompress":
+			res.E2EGbps = s.Gbps
+		case "receive":
+			res.WireGbps = s.Gbps
+			if s.Bytes > 0 {
+				res.Ratio = float64(chunks*chunkBytes) / float64(s.Bytes)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RealScaling sweeps compression thread counts on the real pipeline.
+func RealScaling(threadCounts []int, chunks, chunkBytes int) ([]RealResult, error) {
+	var out []RealResult
+	for _, n := range threadCounts {
+		r, err := RealLoopback(n, chunks, chunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatReal renders the real-mode sweep.
+func FormatReal(results []RealResult) string {
+	out := "Real-execution loopback sweep (this machine, wall clock)\n"
+	out += fmt.Sprintf("%10s %12s %12s %8s\n", "C threads", "e2e Gbps", "wire Gbps", "ratio")
+	for _, r := range results {
+		out += fmt.Sprintf("%10d %12.2f %12.2f %7.2f:1\n",
+			r.CompressThreads, r.E2EGbps, r.WireGbps, r.Ratio)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+// Package experiments reproduces the paper's evaluation: one harness per
+// table and figure, each returning structured rows the cmd/experiments
+// tool prints in the paper's shape. Absolute numbers come from the
+// machine/network models (DESIGN.md §2); the assertions the package's
+// tests make are about shape — orderings, factors and crossovers.
+package experiments
+
+import "numastream/internal/runtime"
+
+// MemExecConfig is one row of Table 1: where the data lives and where
+// the worker threads execute for the compression (Fig 8) and
+// decompression (Fig 9) studies.
+type MemExecConfig struct {
+	Label     string
+	MemDomain int // NUMA domain holding the source data
+	Exec      runtime.Placement
+}
+
+// Table1Configs returns the paper's configurations A–H.
+func Table1Configs() []MemExecConfig {
+	return []MemExecConfig{
+		{Label: "A", MemDomain: 0, Exec: runtime.PinTo(0)},
+		{Label: "B", MemDomain: 0, Exec: runtime.PinTo(1)},
+		{Label: "C", MemDomain: 1, Exec: runtime.PinTo(0)},
+		{Label: "D", MemDomain: 1, Exec: runtime.PinTo(1)},
+		{Label: "E", MemDomain: 0, Exec: runtime.SplitAll()},
+		{Label: "F", MemDomain: 1, Exec: runtime.SplitAll()},
+		{Label: "G", MemDomain: 0, Exec: runtime.OS()},
+		{Label: "H", MemDomain: 1, Exec: runtime.OS()},
+	}
+}
+
+// NetPlacementConfig is one row of Table 2: which sockets the sender and
+// receiver threads run on for the §3.4 network study (Fig 11).
+type NetPlacementConfig struct {
+	Label    string
+	Sender   runtime.Placement
+	Receiver runtime.Placement
+}
+
+// Table2Configs returns the paper's configurations A–E.
+func Table2Configs() []NetPlacementConfig {
+	return []NetPlacementConfig{
+		{Label: "A", Sender: runtime.PinTo(0), Receiver: runtime.PinTo(0)},
+		{Label: "B", Sender: runtime.PinTo(0), Receiver: runtime.PinTo(1)},
+		{Label: "C", Sender: runtime.PinTo(1), Receiver: runtime.PinTo(0)},
+		{Label: "D", Sender: runtime.PinTo(1), Receiver: runtime.PinTo(1)},
+		{Label: "E", Sender: runtime.OS(), Receiver: runtime.OS()},
+	}
+}
+
+// ThreadsConfig is one row of Table 3: compression and decompression
+// thread counts for the end-to-end single-stream study (Fig 12).
+type ThreadsConfig struct {
+	Label      string
+	Compress   int
+	Decompress int
+}
+
+// Table3Configs returns the paper's configurations A–G.
+func Table3Configs() []ThreadsConfig {
+	return []ThreadsConfig{
+		{Label: "A", Compress: 8, Decompress: 4},
+		{Label: "B", Compress: 8, Decompress: 8},
+		{Label: "C", Compress: 16, Decompress: 8},
+		{Label: "D", Compress: 16, Decompress: 16},
+		{Label: "E", Compress: 32, Decompress: 4},
+		{Label: "F", Compress: 32, Decompress: 8},
+		{Label: "G", Compress: 32, Decompress: 16},
+	}
+}

@@ -1,0 +1,85 @@
+package hw
+
+import "numastream/internal/sim"
+
+// Builders for the paper's testbed machines (§3.1, §4.2).
+
+// LynxdtnConfig describes the upstream gateway node: two Xeon Gold 6346
+// sockets, 16 cores each, a 200 Gbps ConnectX-6 on NUMA 1 (the data NIC)
+// and another on NUMA 0 (LUSTRE-facing, unused in the paper's study).
+func LynxdtnConfig() Config {
+	return Config{
+		Name:           "lynxdtn",
+		Sockets:        2,
+		CoresPerSocket: 16,
+		MemBW:          SocketMemBW,
+		UncoreBW:       SocketUncoreBW,
+		InterconnectBW: InterconnectBW,
+		RemotePenalty:  RemotePenalty,
+		CtxSwitchTax:   CtxSwitchTax,
+		MigrationTax:   MigrationTax,
+		NICs: []NICConfig{
+			{Name: "lustre0", Socket: 0, BW: BytesPerSec(200)},
+			{Name: "data1", Socket: 1, BW: BytesPerSec(200)},
+		},
+	}
+}
+
+// UpdraftConfig describes the updraft1/updraft2 sender nodes: same
+// organization as lynxdtn but with a 100 Gbps NIC.
+func UpdraftConfig(name string) Config {
+	return Config{
+		Name:           name,
+		Sockets:        2,
+		CoresPerSocket: 16,
+		MemBW:          SocketMemBW,
+		UncoreBW:       SocketUncoreBW,
+		InterconnectBW: InterconnectBW,
+		RemotePenalty:  RemotePenalty,
+		CtxSwitchTax:   CtxSwitchTax,
+		MigrationTax:   MigrationTax,
+		NICs: []NICConfig{
+			{Name: "data1", Socket: 1, BW: BytesPerSec(100)},
+		},
+	}
+}
+
+// PolarisConfig describes the polaris1/polaris2 sender nodes: one-socket
+// 32-core AMD EPYC Milan 7543P with a 100 Gbps NIC.
+func PolarisConfig(name string) Config {
+	return Config{
+		Name:           name,
+		Sockets:        1,
+		CoresPerSocket: 32,
+		MemBW:          SocketMemBW,
+		UncoreBW:       SocketUncoreBW * 2, // monolithic 32-core socket
+		InterconnectBW: InterconnectBW,
+		RemotePenalty:  RemotePenalty,
+		CtxSwitchTax:   CtxSwitchTax,
+		MigrationTax:   MigrationTax,
+		NICs: []NICConfig{
+			{Name: "data0", Socket: 0, BW: BytesPerSec(100)},
+		},
+	}
+}
+
+// NewLynxdtn instantiates the gateway model.
+func NewLynxdtn(eng *sim.Engine) *Machine { return New(eng, LynxdtnConfig()) }
+
+// NewUpdraft instantiates an updraft sender model.
+func NewUpdraft(eng *sim.Engine, name string) *Machine { return New(eng, UpdraftConfig(name)) }
+
+// NewPolaris instantiates a polaris sender model.
+func NewPolaris(eng *sim.Engine, name string) *Machine { return New(eng, PolarisConfig(name)) }
+
+// DataNIC returns the machine's data-plane NIC (the one experiments
+// stream through): "data1" on the Xeon nodes, "data0" on polaris.
+func DataNIC(m *Machine) *NIC {
+	if n, ok := m.NIC("data1"); ok {
+		return n
+	}
+	if n, ok := m.NIC("data0"); ok {
+		return n
+	}
+	panic("hw: machine has no data NIC")
+}

@@ -1,0 +1,128 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"numastream/internal/sim"
+)
+
+// Property tests for the machine model's conservation and monotonicity
+// invariants — the foundations every experiment's numbers rest on.
+
+func propMachine() *Machine {
+	return New(sim.NewEngine(), Config{
+		Name: "prop", Sockets: 2, CoresPerSocket: 2,
+		MemBW: 1000, UncoreBW: 1000, InterconnectBW: 500,
+		RemotePenalty: 0.15, CtxSwitchTax: 0.06, MigrationTax: 0.2,
+	})
+}
+
+func arbOp(compute, rd, wr uint16, rs, ws, flags uint8) Op {
+	return Op{
+		Compute:       float64(compute) / 1000,
+		ReadBytes:     float64(rd),
+		ReadSocket:    int(rs) % 2,
+		WriteBytes:    float64(wr),
+		WriteSocket:   int(ws) % 2,
+		Unpinned:      flags&1 != 0,
+		Prefetchable:  flags&2 != 0,
+		WriteAllocate: flags&4 != 0,
+	}
+}
+
+// Completion never precedes submission, and never precedes the pure
+// compute time.
+func TestPropertyExecCompletionBounds(t *testing.T) {
+	f := func(compute, rd, wr uint16, rs, ws, flags, coreSel uint8, now uint16) bool {
+		m := propMachine()
+		core := m.Cores[int(coreSel)%len(m.Cores)]
+		core.Threads = 1
+		op := arbOp(compute, rd, wr, rs, ws, flags)
+		t0 := float64(now) / 100
+		done := m.Exec(t0, core, op)
+		if done < t0-1e-12 {
+			return false
+		}
+		return done >= t0+op.Compute-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Byte accounting: every op's read+write bytes land in the core's
+// counters, and remote bytes never exceed total bytes.
+func TestPropertyExecByteConservation(t *testing.T) {
+	f := func(ops []struct {
+		Compute, Rd, Wr uint16
+		Rs, Ws, Flags   uint8
+	}) bool {
+		m := propMachine()
+		core := m.Cores[0]
+		core.Threads = 1
+		var want float64
+		now := 0.0
+		for _, o := range ops {
+			op := arbOp(o.Compute, o.Rd, o.Wr, o.Rs, o.Ws, o.Flags)
+			want += op.ReadBytes + op.WriteBytes
+			now = m.Exec(now, core, op)
+		}
+		if math.Abs(core.TotalBytes-want) > 1e-9 {
+			return false
+		}
+		return core.RemoteBytes <= core.TotalBytes+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Penalties only ever slow an op down: the taxed completion is never
+// earlier than the untaxed one on a fresh machine.
+func TestPropertyPenaltiesAreMonotonic(t *testing.T) {
+	f := func(compute, rd, wr uint16, rs, ws uint8) bool {
+		base := arbOp(compute, rd, wr, rs, ws, 2 /* prefetchable */)
+
+		m1 := propMachine()
+		c1 := m1.Cores[0]
+		c1.Threads = 1
+		plain := m1.Exec(0, c1, base)
+
+		taxed := base
+		taxed.Prefetchable = false // expose remote penalty
+		taxed.Unpinned = true
+		m2 := propMachine()
+		c2 := m2.Cores[0]
+		c2.Threads = 3
+		withTax := m2.Exec(0, c2, taxed)
+
+		return withTax >= plain-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Under saturation the aggregate throughput of a shared server never
+// exceeds its configured capacity.
+func TestPropertyUncoreCapacityRespected(t *testing.T) {
+	f := func(nOps uint8, bytes uint16) bool {
+		m := propMachine()
+		core := m.Cores[0]
+		core.Threads = 1
+		n := int(nOps)%30 + 1
+		per := float64(bytes%500) + 1
+		var done float64
+		for i := 0; i < n; i++ {
+			done = m.Exec(0, core, Op{Compute: 1e-9, ReadBytes: per, ReadSocket: 0, WriteSocket: 0})
+		}
+		total := float64(n) * per
+		// done >= total/capacity.
+		return done >= total/m.Cfg.UncoreBW-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

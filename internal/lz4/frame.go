@@ -1,0 +1,181 @@
+package lz4
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame container: a minimal self-describing stream of LZ4 blocks used
+// when chunks are written to disk or piped between tools. Layout:
+//
+//	magic   [4]byte  "LZ4N"
+//	version byte     1
+//	blocks  repeated:
+//	    uncompressedLen uint32 LE   (0 terminates the stream)
+//	    compressedLen   uint32 LE
+//	    payload         [compressedLen]byte
+//	    crc32           uint32 LE   (Castagnoli, over the payload)
+//
+// A block whose compressedLen equals its uncompressedLen is stored raw
+// (the compressor output was not smaller), matching the convention of the
+// official frame format's uncompressed blocks.
+
+var frameMagic = [4]byte{'L', 'Z', '4', 'N'}
+
+const frameVersion = 1
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer compresses blocks onto an underlying io.Writer using the frame
+// container. Close must be called to terminate the frame.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	closed  bool
+	scratch []byte
+}
+
+// NewWriter returns a frame Writer targeting w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteBlock compresses p as one frame block. Blocks are the unit of
+// decompression; callers should pass whole chunks (e.g. one projection).
+func (fw *Writer) WriteBlock(p []byte) error {
+	if fw.closed {
+		return fmt.Errorf("lz4: write on closed frame writer")
+	}
+	if !fw.started {
+		if err := fw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	if len(p) == 0 {
+		return nil // zero-length blocks would collide with the terminator
+	}
+	if cap(fw.scratch) < CompressBound(len(p)) {
+		fw.scratch = make([]byte, CompressBound(len(p)))
+	}
+	n, err := CompressBlock(p, fw.scratch[:cap(fw.scratch)])
+	if err != nil {
+		return err
+	}
+	payload := fw.scratch[:n]
+	if n >= len(p) {
+		payload = p // store raw; compression did not help
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+	_, err = fw.w.Write(sum[:])
+	return err
+}
+
+func (fw *Writer) writeHeader() error {
+	fw.started = true
+	if _, err := fw.w.Write(frameMagic[:]); err != nil {
+		return err
+	}
+	return fw.w.WriteByte(frameVersion)
+}
+
+// Close writes the frame terminator and flushes. It does not close the
+// underlying writer.
+func (fw *Writer) Close() error {
+	if fw.closed {
+		return nil
+	}
+	if !fw.started {
+		if err := fw.writeHeader(); err != nil {
+			return err
+		}
+	}
+	fw.closed = true
+	var term [4]byte // uncompressedLen == 0
+	if _, err := fw.w.Write(term[:]); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// Reader decompresses frame blocks from an underlying io.Reader.
+type Reader struct {
+	r       *bufio.Reader
+	started bool
+	done    bool
+}
+
+// NewReader returns a frame Reader consuming r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// ReadBlock returns the next decompressed block, or io.EOF after the
+// frame terminator.
+func (fr *Reader) ReadBlock() ([]byte, error) {
+	if fr.done {
+		return nil, io.EOF
+	}
+	if !fr.started {
+		if err := fr.readHeader(); err != nil {
+			return nil, err
+		}
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("lz4: reading block header: %w", err)
+	}
+	uLen := binary.LittleEndian.Uint32(hdr[:])
+	if uLen == 0 {
+		fr.done = true
+		return nil, io.EOF
+	}
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("lz4: reading block header: %w", err)
+	}
+	cLen := binary.LittleEndian.Uint32(hdr[:])
+	if cLen == 0 || cLen > uLen {
+		return nil, fmt.Errorf("%w: block sizes u=%d c=%d", ErrCorrupt, uLen, cLen)
+	}
+	payload := make([]byte, cLen)
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return nil, fmt.Errorf("lz4: reading block payload: %w", err)
+	}
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("lz4: reading block checksum: %w", err)
+	}
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(hdr[:]); got != want {
+		return nil, fmt.Errorf("%w: block checksum mismatch", ErrCorrupt)
+	}
+	if cLen == uLen {
+		return payload, nil // stored raw
+	}
+	return Decompress(payload, int(uLen))
+}
+
+func (fr *Reader) readHeader() error {
+	fr.started = true
+	var hdr [5]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return fmt.Errorf("lz4: reading frame header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return fmt.Errorf("%w: bad frame magic %q", ErrCorrupt, hdr[:4])
+	}
+	if hdr[4] != frameVersion {
+		return fmt.Errorf("%w: unsupported frame version %d", ErrCorrupt, hdr[4])
+	}
+	return nil
+}

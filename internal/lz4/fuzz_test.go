@@ -1,0 +1,54 @@
+package lz4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: `go test -fuzz=FuzzRoundTrip ./internal/lz4`. Under
+// plain `go test` the seed corpus below runs as regression tests.
+
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add(bytes.Repeat([]byte("abc"), 100))
+	f.Add(bytes.Repeat([]byte{0}, 1000))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		dst := make([]byte, CompressBound(len(src)))
+		n, err := CompressBlock(src, dst)
+		if err != nil {
+			t.Fatalf("CompressBlock: %v", err)
+		}
+		got, err := Decompress(dst[:n], len(src))
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatal("round trip mismatch")
+		}
+		// HC must agree with the same decoder.
+		nhc, err := CompressBlockHC(src, dst, 16)
+		if err != nil {
+			t.Fatalf("CompressBlockHC: %v", err)
+		}
+		got, err = Decompress(dst[:nhc], len(src))
+		if err != nil || !bytes.Equal(got, src) {
+			t.Fatalf("HC round trip: %v", err)
+		}
+	})
+}
+
+func FuzzDecompressNeverPanics(f *testing.F) {
+	f.Add([]byte{0x60, 'a', 'b', 'c', 'd', 'e', 'f'}, 6)
+	f.Add([]byte{0x1f, 'a', 0x01, 0x00, 0x00}, 20)
+	f.Add([]byte{0xff, 0xff, 0xff}, 100)
+	f.Fuzz(func(t *testing.T, junk []byte, size int) {
+		if size < 0 || size > 1<<20 {
+			return
+		}
+		dst := make([]byte, size)
+		// Must error or succeed, never panic or write out of bounds.
+		_, _ = DecompressBlock(junk, dst)
+	})
+}

@@ -1,0 +1,153 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func hcRoundTrip(t *testing.T, src []byte, depth int) []byte {
+	t.Helper()
+	dst := make([]byte, CompressBound(len(src)))
+	n, err := CompressBlockHC(src, dst, depth)
+	if err != nil {
+		t.Fatalf("CompressBlockHC: %v", err)
+	}
+	got, err := Decompress(dst[:n], len(src))
+	if err != nil {
+		t.Fatalf("Decompress of HC output: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("HC round trip mismatch")
+	}
+	return dst[:n]
+}
+
+func TestHCRoundTripBasics(t *testing.T) {
+	hcRoundTrip(t, nil, 0)
+	hcRoundTrip(t, []byte("x"), 0)
+	hcRoundTrip(t, bytes.Repeat([]byte{7}, 100000), 0)
+	hcRoundTrip(t, []byte(strings.Repeat("scientific data streaming ", 500)), 16)
+	noise := make([]byte, 1<<15)
+	rand.New(rand.NewSource(1)).Read(noise)
+	hcRoundTrip(t, noise, 0)
+}
+
+func TestHCBeatsFastOnRepetitiveData(t *testing.T) {
+	// Interleave two alternating patterns so the single-candidate fast
+	// table keeps evicting the useful match while the chain finds it.
+	var b bytes.Buffer
+	rng := rand.New(rand.NewSource(2))
+	pats := make([][]byte, 8)
+	for i := range pats {
+		pats[i] = make([]byte, 100)
+		rng.Read(pats[i])
+	}
+	for i := 0; i < 500; i++ {
+		b.Write(pats[rng.Intn(len(pats))])
+	}
+	src := b.Bytes()
+	fast := Compress(src)
+	hc := hcRoundTrip(t, src, 0)
+	if len(hc) > len(fast) {
+		t.Fatalf("HC output %d bytes > fast %d bytes", len(hc), len(fast))
+	}
+	if len(hc) == len(fast) {
+		t.Logf("HC matched fast exactly (%d bytes) — acceptable but unusual", len(hc))
+	}
+}
+
+func TestHCNeverWorseThanFastOnCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		var b bytes.Buffer
+		for b.Len() < 1<<14 {
+			switch rng.Intn(3) {
+			case 0:
+				b.Write(bytes.Repeat([]byte{byte(rng.Intn(8))}, rng.Intn(300)+1))
+			case 1:
+				pat := make([]byte, rng.Intn(30)+4)
+				rng.Read(pat)
+				b.Write(bytes.Repeat(pat, rng.Intn(20)+1))
+			default:
+				noise := make([]byte, rng.Intn(100))
+				rng.Read(noise)
+				b.Write(noise)
+			}
+		}
+		src := b.Bytes()
+		fast := Compress(src)
+		hc := CompressHC(src, 0)
+		if len(hc) > len(fast)+len(fast)/100 {
+			t.Fatalf("trial %d: HC %d bytes noticeably worse than fast %d", trial, len(hc), len(fast))
+		}
+		got, err := Decompress(hc, len(src))
+		if err != nil || !bytes.Equal(got, src) {
+			t.Fatalf("trial %d: HC round trip failed: %v", trial, err)
+		}
+	}
+}
+
+func TestHCDepthImprovesRatio(t *testing.T) {
+	// More search depth can only help (or tie) on this adversarial
+	// many-patterns input.
+	var b bytes.Buffer
+	rng := rand.New(rand.NewSource(4))
+	pats := make([][]byte, 32)
+	for i := range pats {
+		pats[i] = make([]byte, 64)
+		rng.Read(pats[i])
+	}
+	for i := 0; i < 2000; i++ {
+		b.Write(pats[rng.Intn(len(pats))])
+	}
+	src := b.Bytes()
+	shallow := CompressHC(src, 1)
+	deep := CompressHC(src, 256)
+	if len(deep) > len(shallow) {
+		t.Fatalf("depth 256 output %d > depth 1 output %d", len(deep), len(shallow))
+	}
+}
+
+func TestHCDstTooSmall(t *testing.T) {
+	if _, err := CompressBlockHC(make([]byte, 100), make([]byte, 4), 0); err != ErrDstTooSmall {
+		t.Fatalf("err = %v, want ErrDstTooSmall", err)
+	}
+}
+
+func TestHCPropertyRoundTrip(t *testing.T) {
+	f := func(src []byte, depthSeed uint8) bool {
+		depth := int(depthSeed)%100 + 1
+		dst := make([]byte, CompressBound(len(src)))
+		n, err := CompressBlockHC(src, dst, depth)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(dst[:n], len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHCPropertyCompressibleRoundTrip(t *testing.T) {
+	f := func(seed int64, period uint8, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := int(period)%24 + 1
+		pat := make([]byte, p)
+		rng.Read(pat)
+		src := bytes.Repeat(pat, int(n)%400+1)
+		for i := 0; i < len(src)/40; i++ {
+			src[rng.Intn(len(src))] ^= byte(rng.Intn(256))
+		}
+		hc := CompressHC(src, 32)
+		got, err := Decompress(hc, len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,351 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	dst := make([]byte, CompressBound(len(src)))
+	n, err := CompressBlock(src, dst)
+	if err != nil {
+		t.Fatalf("CompressBlock: %v", err)
+	}
+	got, err := Decompress(dst[:n], len(src))
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(src))
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	n, err := CompressBlock(nil, make([]byte, CompressBound(0)))
+	if err != nil {
+		t.Fatalf("CompressBlock(nil): %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("compressed empty input to %d bytes, want 0", n)
+	}
+}
+
+func TestRoundTripTiny(t *testing.T) {
+	for i := 1; i < 20; i++ {
+		roundTrip(t, bytes.Repeat([]byte{'x'}, i))
+	}
+}
+
+func TestRoundTripText(t *testing.T) {
+	roundTrip(t, []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 100)))
+}
+
+func TestRoundTripAllSame(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{0}, 1<<16))
+	roundTrip(t, bytes.Repeat([]byte{0xaa}, 12345))
+}
+
+func TestRoundTripIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 1<<15)
+	rng.Read(buf)
+	roundTrip(t, buf)
+}
+
+func TestRoundTripStructured(t *testing.T) {
+	// Mix of runs, periodic patterns and noise, like detector frames.
+	rng := rand.New(rand.NewSource(2))
+	var b bytes.Buffer
+	for b.Len() < 1<<18 {
+		switch rng.Intn(3) {
+		case 0:
+			b.Write(bytes.Repeat([]byte{byte(rng.Intn(4))}, rng.Intn(500)+1))
+		case 1:
+			pat := make([]byte, rng.Intn(9)+1)
+			rng.Read(pat)
+			b.Write(bytes.Repeat(pat, rng.Intn(50)+1))
+		default:
+			noise := make([]byte, rng.Intn(200))
+			rng.Read(noise)
+			b.Write(noise)
+		}
+	}
+	roundTrip(t, b.Bytes())
+}
+
+func TestRoundTripLongMatchOffsets(t *testing.T) {
+	// A pattern repeated far apart exercises the 64 KiB offset limit.
+	block := make([]byte, 1000)
+	rand.New(rand.NewSource(3)).Read(block)
+	var b bytes.Buffer
+	for i := 0; i < 100; i++ {
+		b.Write(block)
+		b.Write(bytes.Repeat([]byte{byte(i)}, 700))
+	}
+	roundTrip(t, b.Bytes())
+}
+
+func TestCompressionRatioOnRuns(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdabcd"), 4096)
+	c := Compress(src)
+	if len(c)*10 > len(src) {
+		t.Fatalf("highly repetitive input compressed to %d/%d bytes; expected >10x", len(c), len(src))
+	}
+}
+
+func TestIncompressibleExpansionBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := make([]byte, 100000)
+	rng.Read(src)
+	c := Compress(src)
+	if len(c) > CompressBound(len(src)) {
+		t.Fatalf("compressed size %d exceeds CompressBound %d", len(c), CompressBound(len(src)))
+	}
+}
+
+func TestCompressBlockDstTooSmall(t *testing.T) {
+	src := make([]byte, 100)
+	if _, err := CompressBlock(src, make([]byte, 10)); err != ErrDstTooSmall {
+		t.Fatalf("err = %v, want ErrDstTooSmall", err)
+	}
+}
+
+// Hand-built decompression vectors verify wire-format compatibility
+// independent of our own compressor.
+func TestDecompressKnownVectors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want []byte
+	}{
+		{
+			name: "literals only",
+			in:   []byte{0x60, 'a', 'b', 'c', 'd', 'e', 'f'},
+			want: []byte("abcdef"),
+		},
+		{
+			name: "rle via overlapping match",
+			// 1 literal 'a', then match offset 1 length 19 (token low
+			// nibble 15 + ext 0 => 15, +4 minimum = 19).
+			in:   []byte{0x1f, 'a', 0x01, 0x00, 0x00, 0x50, 'b', 'c', 'd', 'e', 'f'},
+			want: append(bytes.Repeat([]byte{'a'}, 20), []byte("bcdef")...),
+		},
+		{
+			name: "extended literal length",
+			// 15+5 = 20 literals then terminator-style end.
+			in:   append([]byte{0xf0, 0x05}, bytes.Repeat([]byte{'z'}, 20)...),
+			want: bytes.Repeat([]byte{'z'}, 20),
+		},
+		{
+			name: "non-overlapping match",
+			// 8 literals "abcdefgh", match offset 8 len 4 => "abcd",
+			// then final literals "tail5".
+			in:   []byte{0x80, 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 0x08, 0x00, 0x50, 't', 'a', 'i', 'l', '5'},
+			want: []byte("abcdefghabcdtail5"),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Decompress(tc.in, len(tc.want))
+			if err != nil {
+				t.Fatalf("Decompress: %v", err)
+			}
+			if !bytes.Equal(got, tc.want) {
+				t.Fatalf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		size int
+	}{
+		{"zero offset", []byte{0x10, 'a', 0x00, 0x00}, 10},
+		{"offset beyond output", []byte{0x10, 'a', 0x09, 0x00}, 10},
+		{"truncated literals", []byte{0x50, 'a'}, 10},
+		{"truncated offset", []byte{0x10, 'a', 0x01}, 10},
+		{"truncated length ext", []byte{0x1f, 'a', 0x01, 0x00}, 1000},
+		{"runaway literal ext", []byte{0xf0, 0xff, 0xff}, 1000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decompress(tc.in, tc.size); err == nil {
+				t.Fatal("Decompress accepted corrupt input")
+			}
+		})
+	}
+}
+
+func TestDecompressDstTooSmall(t *testing.T) {
+	src := Compress(bytes.Repeat([]byte("abcd"), 100))
+	dst := make([]byte, 10)
+	if _, err := DecompressBlock(src, dst); err != ErrDstTooSmall {
+		t.Fatalf("err = %v, want ErrDstTooSmall", err)
+	}
+}
+
+func TestDecompressWrongSize(t *testing.T) {
+	src := Compress([]byte("hello world hello world hello world"))
+	if _, err := Decompress(src, 1000); err == nil {
+		t.Fatal("Decompress accepted wrong uncompressed size")
+	}
+}
+
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		dst := make([]byte, CompressBound(len(src)))
+		n, err := CompressBlock(src, dst)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(dst[:n], len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCompressibleRoundTrip biases quick inputs toward repetitive
+// data so match-emission paths are exercised, not just literal runs.
+func TestPropertyCompressibleRoundTrip(t *testing.T) {
+	f := func(seed int64, period uint8, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := int(period)%32 + 1
+		pat := make([]byte, p)
+		rng.Read(pat)
+		src := bytes.Repeat(pat, int(n)%300+1)
+		// Sprinkle mutations so matches break and restart.
+		for i := 0; i < len(src)/50; i++ {
+			src[rng.Intn(len(src))] ^= byte(rng.Intn(256))
+		}
+		dst := make([]byte, CompressBound(len(src)))
+		nc, err := CompressBlock(src, dst)
+		if err != nil {
+			return false
+		}
+		got, err := Decompress(dst[:nc], len(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDecompressNeverPanics(t *testing.T) {
+	// Arbitrary garbage must produce an error or short output, never a
+	// panic or out-of-bounds write.
+	f := func(junk []byte, size uint16) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on junk input: %v", r)
+			}
+		}()
+		dst := make([]byte, int(size)%4096)
+		_, _ = DecompressBlock(junk, dst)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	blocks := [][]byte{
+		[]byte("first block"),
+		bytes.Repeat([]byte("tomography "), 1000),
+		make([]byte, 4096), // zeros
+	}
+	rand.New(rand.NewSource(5)).Read(blocks[2][:2048])
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, b := range blocks {
+		if err := w.WriteBlock(b); err != nil {
+			t.Fatalf("WriteBlock: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := NewReader(&buf)
+	for i, want := range blocks {
+		got, err := r.ReadBlock()
+		if err != nil {
+			t.Fatalf("ReadBlock %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d mismatch", i)
+		}
+	}
+	if _, err := r.ReadBlock(); err == nil {
+		t.Fatal("ReadBlock after terminator succeeded")
+	}
+}
+
+func TestFrameEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.ReadBlock(); err == nil {
+		t.Fatal("empty frame returned a block")
+	}
+}
+
+func TestFrameRejectsBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("XXXX\x01\x00\x00\x00\x00")))
+	if _, err := r.ReadBlock(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFrameDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteBlock(bytes.Repeat([]byte("data"), 500)); err != nil {
+		t.Fatalf("WriteBlock: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	raw := buf.Bytes()
+	raw[20] ^= 0xff // flip a payload byte
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.ReadBlock(); err == nil {
+		t.Fatal("corrupted payload accepted")
+	}
+}
+
+func TestFrameWriteAfterClose(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	w.Close()
+	if err := w.WriteBlock([]byte("x")); err == nil {
+		t.Fatal("WriteBlock after Close succeeded")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(nil); r != 1 {
+		t.Fatalf("Ratio(nil) = %v, want 1", r)
+	}
+	if r := Ratio(bytes.Repeat([]byte{'a'}, 10000)); r < 50 {
+		t.Fatalf("Ratio of constant run = %v, want >= 50", r)
+	}
+	rng := rand.New(rand.NewSource(6))
+	noise := make([]byte, 10000)
+	rng.Read(noise)
+	if r := Ratio(noise); r > 1.05 {
+		t.Fatalf("Ratio of noise = %v, want ~1", r)
+	}
+}

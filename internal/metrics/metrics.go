@@ -1,0 +1,116 @@
+// Package metrics provides lightweight counters for the real-execution
+// mode of the runtime: byte/chunk throughput meters and per-stage
+// aggregation. (The simulator side gets its metrics from hw.CoreStats;
+// this package is for goroutine pipelines where wall-clock time rules.)
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Meter counts bytes and items and derives rates over wall-clock time.
+// All methods are safe for concurrent use.
+type Meter struct {
+	start time.Time
+	bytes atomic.Int64
+	items atomic.Int64
+}
+
+// NewMeter returns a meter whose clock starts now.
+func NewMeter() *Meter {
+	return &Meter{start: time.Now()}
+}
+
+// Add records n bytes of one item.
+func (m *Meter) Add(n int) {
+	m.bytes.Add(int64(n))
+	m.items.Add(1)
+}
+
+// AddBytes records n bytes without an item.
+func (m *Meter) AddBytes(n int) { m.bytes.Add(int64(n)) }
+
+// Bytes returns the total recorded bytes.
+func (m *Meter) Bytes() int64 { return m.bytes.Load() }
+
+// Items returns the total recorded items.
+func (m *Meter) Items() int64 { return m.items.Load() }
+
+// Elapsed returns time since the meter started.
+func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }
+
+// Rate returns bytes/second since start.
+func (m *Meter) Rate() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.bytes.Load()) / el
+}
+
+// Gbps returns the rate in gigabits per second.
+func (m *Meter) Gbps() float64 { return m.Rate() * 8 / 1e9 }
+
+// Snapshot is a point-in-time view of a meter.
+type Snapshot struct {
+	Name    string
+	Bytes   int64
+	Items   int64
+	Seconds float64
+	Gbps    float64
+}
+
+// Registry groups named meters for a pipeline run.
+type Registry struct {
+	mu     sync.Mutex
+	meters map[string]*Meter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{meters: make(map[string]*Meter)}
+}
+
+// Meter returns the named meter, creating it on first use.
+func (r *Registry) Meter(name string) *Meter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meters[name]
+	if !ok {
+		m = NewMeter()
+		r.meters[name] = m
+	}
+	return m
+}
+
+// Snapshots returns all meters' snapshots sorted by name.
+func (r *Registry) Snapshots() []Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Snapshot, 0, len(r.meters))
+	for name, m := range r.meters {
+		out = append(out, Snapshot{
+			Name:    name,
+			Bytes:   m.Bytes(),
+			Items:   m.Items(),
+			Seconds: m.Elapsed().Seconds(),
+			Gbps:    m.Gbps(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the registry as a small table.
+func (r *Registry) String() string {
+	out := ""
+	for _, s := range r.Snapshots() {
+		out += fmt.Sprintf("%-16s %12d bytes %8d items %8.2f Gbps\n",
+			s.Name, s.Bytes, s.Items, s.Gbps)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMeterCounts(t *testing.T) {
+	m := NewMeter()
+	m.Add(100)
+	m.Add(50)
+	m.AddBytes(25)
+	if m.Bytes() != 175 {
+		t.Fatalf("Bytes = %d, want 175", m.Bytes())
+	}
+	if m.Items() != 2 {
+		t.Fatalf("Items = %d, want 2", m.Items())
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	m := NewMeter()
+	m.Add(1000)
+	time.Sleep(20 * time.Millisecond)
+	r := m.Rate()
+	if r <= 0 || r > 1000/0.02*2 {
+		t.Fatalf("Rate = %v out of plausible range", r)
+	}
+	// Gbps is Rate in other units; sampled moments differ slightly, so
+	// allow drift.
+	g := m.Gbps()
+	want := m.Rate() * 8 / 1e9
+	if g <= 0 || want <= 0 || g/want > 2 || want/g > 2 {
+		t.Fatalf("Gbps = %v inconsistent with Rate-derived %v", g, want)
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Bytes() != 8000 || m.Items() != 8000 {
+		t.Fatalf("concurrent counts: %d bytes, %d items", m.Bytes(), m.Items())
+	}
+}
+
+func TestRegistryReusesMeters(t *testing.T) {
+	r := NewRegistry()
+	a := r.Meter("recv")
+	b := r.Meter("recv")
+	if a != b {
+		t.Fatal("Meter returned different instances for the same name")
+	}
+	a.Add(10)
+	snaps := r.Snapshots()
+	if len(snaps) != 1 || snaps[0].Name != "recv" || snaps[0].Bytes != 10 {
+		t.Fatalf("Snapshots = %+v", snaps)
+	}
+}
+
+func TestRegistrySnapshotsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Meter("z").Add(1)
+	r.Meter("a").Add(1)
+	r.Meter("m").Add(1)
+	snaps := r.Snapshots()
+	if snaps[0].Name != "a" || snaps[1].Name != "m" || snaps[2].Name != "z" {
+		t.Fatalf("Snapshots unsorted: %+v", snaps)
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	r.Meter("compress").Add(1024)
+	s := r.String()
+	if !strings.Contains(s, "compress") || !strings.Contains(s, "1024") {
+		t.Fatalf("String output: %q", s)
+	}
+}

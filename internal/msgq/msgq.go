@@ -1,0 +1,349 @@
+// Package msgq is a minimal message-queue transport over TCP with the two
+// socket personalities the runtime needs: PUSH (connect-side, round-robin
+// distribution, automatic reconnect) and PULL (bind-side, fair-queued
+// receive from many peers). It replaces the paper's use of ZeroMQ [7] for
+// "a robust and high-performance messaging protocol": the runtime's
+// pipeline needs exactly push/pull semantics with multipart messages.
+//
+// Wire format, little-endian:
+//
+//	message: partCount uint32 | parts...
+//	part:    length uint32 | payload bytes
+//
+// Zero-part messages are valid (heartbeats). Part and message sizes are
+// bounded to keep a malicious or corrupted peer from forcing huge
+// allocations.
+package msgq
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"numastream/internal/queue"
+)
+
+// Message is a multipart message.
+type Message [][]byte
+
+// Limits on the wire format.
+const (
+	MaxParts    = 128
+	MaxPartSize = 64 << 20 // one part comfortably holds a projection chunk
+)
+
+// ErrClosed is returned by operations on closed sockets.
+var ErrClosed = errors.New("msgq: socket closed")
+
+// writeMessage serializes msg onto w.
+func writeMessage(w io.Writer, msg Message) error {
+	if len(msg) > MaxParts {
+		return fmt.Errorf("msgq: %d parts exceeds limit %d", len(msg), MaxParts)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, part := range msg {
+		if len(part) > MaxPartSize {
+			return fmt.Errorf("msgq: part of %d bytes exceeds limit", len(part))
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(part)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readMessage deserializes one message from r.
+func readMessage(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxParts {
+		return nil, fmt.Errorf("msgq: message with %d parts exceeds limit", n)
+	}
+	msg := make(Message, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		size := binary.LittleEndian.Uint32(hdr[:])
+		if size > MaxPartSize {
+			return nil, fmt.Errorf("msgq: part of %d bytes exceeds limit", size)
+		}
+		part := make([]byte, size)
+		if _, err := io.ReadFull(r, part); err != nil {
+			return nil, err
+		}
+		msg = append(msg, part)
+	}
+	return msg, nil
+}
+
+// pushConn pairs a connection with a write lock so concurrent Send
+// calls sharing one socket never interleave frames on the wire.
+type pushConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+}
+
+// Push is the connect-side socket: it distributes messages round-robin
+// over its live connections, blocks while none are up, and redials lost
+// endpoints in the background. Send is safe for concurrent use: the
+// paper's runtime shares one PUSH socket across all sending threads.
+type Push struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	conns   []*pushConn
+	next    int
+	closed  bool
+	dialers sync.WaitGroup
+
+	// RetryInterval is the redial backoff (settable before Connect).
+	RetryInterval time.Duration
+}
+
+// NewPush returns an unconnected PUSH socket.
+func NewPush() *Push {
+	p := &Push{RetryInterval: 100 * time.Millisecond}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Connect starts maintaining a connection to addr, redialing on failure
+// until Close. It returns after launching the dialer (connections come
+// up asynchronously; Send blocks until one is live).
+func (p *Push) Connect(addr string) {
+	p.dialers.Add(1)
+	go func() {
+		defer p.dialers.Done()
+		for {
+			p.mu.Lock()
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				time.Sleep(p.RetryInterval)
+				continue
+			}
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				conn.Close()
+				return
+			}
+			p.conns = append(p.conns, &pushConn{conn: conn})
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+	}()
+}
+
+// Live returns the number of currently connected peers.
+func (p *Push) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+// WaitLive blocks until at least n peers are connected (or the socket
+// closes, returning ErrClosed). Senders distributing across several
+// receivers call this before streaming so early chunks don't all land
+// on whichever peer dialed fastest.
+func (p *Push) WaitLive(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.conns) < n && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Send writes msg to the next live connection (round robin), blocking
+// while none are available. A connection that fails is dropped and the
+// message retried on another (or after reconnect by the caller's next
+// Connect); the message is never silently lost unless the socket closes.
+func (p *Push) Send(msg Message) error {
+	// Validate up front: a malformed message is the caller's error, not
+	// a connection failure to retry around.
+	if len(msg) > MaxParts {
+		return fmt.Errorf("msgq: %d parts exceeds limit %d", len(msg), MaxParts)
+	}
+	for _, part := range msg {
+		if len(part) > MaxPartSize {
+			return fmt.Errorf("msgq: part of %d bytes exceeds limit", len(part))
+		}
+	}
+	for {
+		p.mu.Lock()
+		for len(p.conns) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return ErrClosed
+		}
+		p.next = (p.next + 1) % len(p.conns)
+		pc := p.conns[p.next]
+		p.mu.Unlock()
+
+		pc.writeMu.Lock()
+		err := writeMessage(pc.conn, msg)
+		pc.writeMu.Unlock()
+		if err == nil {
+			return nil
+		}
+		// Drop the dead connection and retry on another.
+		p.mu.Lock()
+		for i, c := range p.conns {
+			if c == pc {
+				p.conns = append(p.conns[:i], p.conns[i+1:]...)
+				c.conn.Close()
+				break
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close tears down all connections. Pending Sends fail with ErrClosed.
+func (p *Push) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	p.dialers.Wait()
+	return nil
+}
+
+// Pull is the bind-side socket: it accepts any number of PUSH peers and
+// fair-queues their messages into Recv.
+type Pull struct {
+	ln     net.Listener
+	inbox  *queue.Queue[Message]
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPull binds a PULL socket on addr (e.g. "127.0.0.1:0").
+func NewPull(addr string) (*Pull, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("msgq: bind %s: %w", addr, err)
+	}
+	p := &Pull{
+		ln:    ln,
+		inbox: queue.New[Message](256),
+		conns: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (p *Pull) Addr() net.Addr { return p.ln.Addr() }
+
+func (p *Pull) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.readLoop(conn)
+	}
+}
+
+func (p *Pull) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		msg, err := readMessage(conn)
+		if err != nil {
+			return
+		}
+		if err := p.inbox.Put(msg); err != nil {
+			return // socket closed
+		}
+	}
+}
+
+// Recv returns the next message, fair-queued across peers, blocking
+// until one arrives. It returns ErrClosed after Close once the inbox has
+// drained.
+func (p *Pull) Recv() (Message, error) {
+	msg, err := p.inbox.Get()
+	if err == queue.ErrClosed {
+		return nil, ErrClosed
+	}
+	return msg, err
+}
+
+// Close stops accepting, closes peers and the inbox (Recv drains
+// remaining messages first).
+func (p *Pull) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	p.inbox.Close()
+	return nil
+}

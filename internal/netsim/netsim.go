@@ -1,0 +1,86 @@
+// Package netsim models the network between machine models: NIC transmit
+// and receive engines, shared backbone links with bandwidth and RTT, and
+// the DMA step that lands received bytes in the memory of the NUMA domain
+// the receiving NIC is attached to (§2.2 of the paper). It replaces the
+// real 100/200 Gbps APS↔ALCF paths of the evaluation.
+package netsim
+
+import (
+	"math"
+
+	"numastream/internal/hw"
+	"numastream/internal/sim"
+)
+
+// Link is a shared network segment.
+type Link struct {
+	Srv *sim.Server
+	RTT float64 // seconds, end to end
+}
+
+// NewLink returns a link with the given capacity (bytes/s) and RTT.
+func NewLink(eng *sim.Engine, name string, bw, rtt float64) *Link {
+	return &Link{Srv: sim.NewServer(name, bw), RTT: rtt}
+}
+
+// Path is a unidirectional data path from a sender machine's NIC over a
+// link into a receiver machine's NIC and memory.
+type Path struct {
+	eng *sim.Engine
+
+	src    *hw.Machine
+	srcNIC *hw.NIC
+	link   *Link
+	dst    *hw.Machine
+	dstNIC *hw.NIC
+
+	rss  *RSS
+	flow int
+}
+
+// SetRSS enables explicit softIRQ modelling on this path: every
+// delivered message is processed by the RSS queue its flow id hashes to
+// before arrival completes. Flow identifies this path's stream in the
+// steering table.
+func (p *Path) SetRSS(r *RSS, flow int) {
+	p.rss = r
+	p.flow = flow
+}
+
+// NewPath wires a path together. Multiple paths may share the same link
+// and the same destination NIC; their traffic then contends.
+func NewPath(eng *sim.Engine, src *hw.Machine, srcNIC *hw.NIC, link *Link, dst *hw.Machine, dstNIC *hw.NIC) *Path {
+	return &Path{eng: eng, src: src, srcNIC: srcNIC, link: link, dst: dst, dstNIC: dstNIC}
+}
+
+// DstSocket returns the NUMA domain received data lands in.
+func (p *Path) DstSocket() int { return p.dstNIC.Socket }
+
+// Send moves one message of the given size across the path and invokes
+// k with the time the data is resident in receiver memory. The transfer
+// holds the sender's NIC tx engine, a fair share of the link, the
+// receiver's NIC rx engine, and finally DMAs into the receiver NIC's
+// attachment domain. The three bandwidth stages are acquired at send
+// time (cut-through pipelining: per-message completion is governed by
+// the slowest stage, matching steady-state TCP behaviour), then half the
+// RTT of propagation is added.
+func (p *Path) Send(now, bytes float64, k func(arrival float64)) {
+	t := p.srcNIC.Tx.Acquire(now, bytes)
+	t = math.Max(t, p.link.Srv.Acquire(now, bytes))
+	t = math.Max(t, p.dstNIC.Rx.Acquire(now, bytes))
+	t += p.link.RTT / 2
+	p.eng.Schedule(t, func() {
+		done := p.dst.DMAWrite(p.eng.Now(), p.dstNIC.Socket, bytes)
+		if p.rss != nil {
+			d := p.rss.Deliver(p.eng.Now(), p.flow, bytes, p.dstNIC.Socket)
+			if d > done {
+				done = d
+			}
+		}
+		if done > p.eng.Now() {
+			p.eng.Schedule(done, func() { k(done) })
+			return
+		}
+		k(p.eng.Now())
+	})
+}

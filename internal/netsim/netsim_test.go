@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"numastream/internal/hw"
+	"numastream/internal/sim"
+)
+
+func buildPath(t *testing.T, linkBW float64, rtt float64) (*sim.Engine, *hw.Machine, *hw.Machine, *Path) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cfg := hw.Config{
+		Name: "m", Sockets: 2, CoresPerSocket: 2,
+		MemBW: 1e12, UncoreBW: 1e12, InterconnectBW: 1e12,
+		NICs: []hw.NICConfig{{Name: "nic", Socket: 1, BW: 100}},
+	}
+	src := hw.New(eng, cfg)
+	cfg.Name = "d"
+	dst := hw.New(eng, cfg)
+	link := NewLink(eng, "wan", linkBW, rtt)
+	srcNIC, _ := src.NIC("nic")
+	dstNIC, _ := dst.NIC("nic")
+	return eng, src, dst, NewPath(eng, src, srcNIC, link, dst, dstNIC)
+}
+
+func TestSendDeliversAfterSlowestStage(t *testing.T) {
+	eng, _, _, p := buildPath(t, 50, 0) // link (50 B/s) slower than NICs (100 B/s)
+	var arrival float64
+	p.Send(0, 100, func(a float64) { arrival = a })
+	eng.Run()
+	if math.Abs(arrival-2) > 1e-9 {
+		t.Fatalf("arrival = %v, want 2 (link-bound)", arrival)
+	}
+}
+
+func TestSendAddsPropagationDelay(t *testing.T) {
+	eng, _, _, p := buildPath(t, 1e9, 0.5)
+	var arrival float64
+	p.Send(0, 100, func(a float64) { arrival = a })
+	eng.Run()
+	// NIC at 100 B/s takes 1s; +RTT/2 = 0.25.
+	if math.Abs(arrival-1.25) > 1e-9 {
+		t.Fatalf("arrival = %v, want 1.25", arrival)
+	}
+}
+
+func TestSendDMAsIntoNICSocket(t *testing.T) {
+	eng, _, dst, p := buildPath(t, 1e9, 0)
+	p.Send(0, 100, func(a float64) {})
+	eng.Run()
+	if got := dst.Sockets[1].Mem.Served(); got != 100 {
+		t.Fatalf("NIC-socket memory served %v, want 100", got)
+	}
+	if got := dst.Sockets[0].Mem.Served(); got != 0 {
+		t.Fatalf("non-NIC socket memory served %v, want 0", got)
+	}
+	if p.DstSocket() != 1 {
+		t.Fatalf("DstSocket = %d, want 1", p.DstSocket())
+	}
+}
+
+func TestSharedLinkContention(t *testing.T) {
+	// Two paths over one 100 B/s link: 10 messages of 100 bytes total
+	// take 10s aggregate regardless of the split.
+	eng := sim.NewEngine()
+	cfg := hw.Config{
+		Name: "s1", Sockets: 1, CoresPerSocket: 1,
+		MemBW: 1e12, UncoreBW: 1e12, InterconnectBW: 1e12,
+		NICs: []hw.NICConfig{{Name: "nic", Socket: 0, BW: 1e9}},
+	}
+	src1 := hw.New(eng, cfg)
+	cfg.Name = "s2"
+	src2 := hw.New(eng, cfg)
+	cfg.Name = "dst"
+	cfg.NICs[0].BW = 1e9
+	dst := hw.New(eng, cfg)
+	link := NewLink(eng, "wan", 100, 0)
+	n1, _ := src1.NIC("nic")
+	n2, _ := src2.NIC("nic")
+	nd, _ := dst.NIC("nic")
+	p1 := NewPath(eng, src1, n1, link, dst, nd)
+	p2 := NewPath(eng, src2, n2, link, dst, nd)
+
+	var last float64
+	for i := 0; i < 5; i++ {
+		p1.Send(0, 100, func(a float64) { last = math.Max(last, a) })
+		p2.Send(0, 100, func(a float64) { last = math.Max(last, a) })
+	}
+	eng.Run()
+	if math.Abs(last-10) > 1e-9 {
+		t.Fatalf("last arrival = %v, want 10 (shared link serialization)", last)
+	}
+}
+
+func TestMessagesPipelineAcrossStages(t *testing.T) {
+	// Back-to-back messages through equal-rate stages stream at the
+	// stage rate: n messages of b bytes finish at n*b/rate, not
+	// 3*n*b/rate (no store-and-forward stacking).
+	eng, _, _, p := buildPath(t, 100, 0)
+	var last float64
+	const n, b = 10, 100
+	for i := 0; i < n; i++ {
+		p.Send(0, b, func(a float64) { last = math.Max(last, a) })
+	}
+	eng.Run()
+	if math.Abs(last-n*b/100.0) > 1e-9 {
+		t.Fatalf("last arrival = %v, want %v", last, float64(n*b)/100)
+	}
+}

@@ -1,0 +1,77 @@
+package netsim
+
+import (
+	"fmt"
+
+	"numastream/internal/hw"
+	"numastream/internal/sim"
+)
+
+// RSS models the receive-side scaling path of §2.2: a multi-queue NIC
+// hashes each flow to one Rx descriptor queue, and each queue's softIRQ
+// context runs on a designated core, costing CPU time per received byte
+// before the application's receiving thread ever sees the data. Whether
+// those softIRQ cores coincide with the receive threads' cores is
+// exactly the coordination the paper's runtime controls and the OS
+// baseline leaves to chance.
+//
+// RSS is an opt-in detail layer: the calibrated experiments fold softIRQ
+// cost into the per-core receive rate, while RSS-aware studies charge it
+// explicitly via Path.SetRSS.
+type RSS struct {
+	eng     *sim.Engine
+	m       *hw.Machine
+	cores   []*hw.Core
+	perByte float64 // softIRQ seconds per byte
+}
+
+// NewRSS builds an RSS steering table: queue i's softIRQ handler runs on
+// cores[i]. rate is the softIRQ processing capacity in bytes/second per
+// core.
+func NewRSS(eng *sim.Engine, m *hw.Machine, cores []*hw.Core, rate float64) (*RSS, error) {
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("netsim: RSS needs at least one queue core")
+	}
+	if rate <= 0 {
+		return nil, fmt.Errorf("netsim: RSS rate must be positive")
+	}
+	return &RSS{eng: eng, m: m, cores: cores, perByte: 1 / rate}, nil
+}
+
+// QueueOf returns the queue index a flow hashes to (the NIC controller's
+// "hash value" steering).
+func (r *RSS) QueueOf(flow int) int {
+	if flow < 0 {
+		flow = -flow
+	}
+	return flow % len(r.cores)
+}
+
+// Deliver charges the softIRQ processing for one received message of the
+// given flow and returns the completion time. The handler core also
+// reads the packet data from the NIC's DMA domain (dmaSocket), so a
+// handler on the remote socket additionally crosses the interconnect.
+func (r *RSS) Deliver(now float64, flow int, bytes float64, dmaSocket int) float64 {
+	core := r.cores[r.QueueOf(flow)]
+	return r.m.Exec(now, core, hw.Op{
+		Compute:    bytes * r.perByte,
+		ReadBytes:  bytes,
+		ReadSocket: dmaSocket,
+		// softIRQ leaves the payload in place for the application
+		// thread; no write charge.
+		WriteSocket: core.Socket,
+		Label:       "softirq",
+	})
+}
+
+// LocalRSS returns an RSS table covering all cores of the NIC's
+// attachment socket — the coordinated steering the runtime configures.
+func LocalRSS(eng *sim.Engine, m *hw.Machine, nic *hw.NIC, rate float64) (*RSS, error) {
+	return NewRSS(eng, m, m.Sockets[nic.Socket].Cores, rate)
+}
+
+// ScatteredRSS returns an RSS table striping queues across all cores of
+// the machine — the uncoordinated default the OS baseline gets.
+func ScatteredRSS(eng *sim.Engine, m *hw.Machine, rate float64) (*RSS, error) {
+	return NewRSS(eng, m, m.Cores, rate)
+}

@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"numastream/internal/hw"
+	"numastream/internal/sim"
+)
+
+func rssMachine(t *testing.T) (*sim.Engine, *hw.Machine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := hw.New(eng, hw.Config{
+		Name: "gw", Sockets: 2, CoresPerSocket: 2,
+		MemBW: 1e12, UncoreBW: 1e12, InterconnectBW: 1e12,
+		RemotePenalty: 0.2,
+		NICs:          []hw.NICConfig{{Name: "nic", Socket: 1, BW: 1e12}},
+	})
+	return eng, m
+}
+
+func TestNewRSSValidation(t *testing.T) {
+	eng, m := rssMachine(t)
+	if _, err := NewRSS(eng, m, nil, 100); err == nil {
+		t.Fatal("empty core list accepted")
+	}
+	if _, err := NewRSS(eng, m, m.Cores, 0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestQueueOfHashesFlows(t *testing.T) {
+	eng, m := rssMachine(t)
+	r, err := NewRSS(eng, m, m.Cores[:3], 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QueueOf(0) != 0 || r.QueueOf(4) != 1 || r.QueueOf(-5) != 2 {
+		t.Fatalf("queues: %d %d %d", r.QueueOf(0), r.QueueOf(4), r.QueueOf(-5))
+	}
+}
+
+func TestDeliverChargesSoftIRQCore(t *testing.T) {
+	eng, m := rssMachine(t)
+	nic, _ := m.NIC("nic")
+	r, err := LocalRSS(eng, m, nic, 100) // queues on socket-1 cores (ids 2,3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := r.Deliver(0, 0, 200, nic.Socket)
+	// 200 bytes at 100 B/s of softIRQ capacity on a local core = 2s.
+	if math.Abs(done-2) > 1e-9 {
+		t.Fatalf("done = %v, want 2", done)
+	}
+	if m.Cores[2].Exec.BusySeconds() == 0 {
+		t.Fatal("softIRQ time not charged to the queue core")
+	}
+}
+
+func TestScatteredRSSPaysRemotePenalty(t *testing.T) {
+	eng, m := rssMachine(t)
+	r, err := ScatteredRSS(eng, m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 0 hashes to core 0 (socket 0), but the DMA landed on
+	// socket 1: the handler's packet reads stall remotely (+20%).
+	done := r.Deliver(0, 0, 100, 1)
+	if math.Abs(done-1.2) > 1e-9 {
+		t.Fatalf("remote softIRQ done = %v, want 1.2", done)
+	}
+	if m.Cores[0].RemoteBytes != 100 {
+		t.Fatalf("remote bytes = %v", m.Cores[0].RemoteBytes)
+	}
+}
+
+// TestPathWithRSSCoordinationMatters is the §2.2 story end to end:
+// identical paths differ in throughput only by whether softIRQ steering
+// is coordinated with the NIC's domain.
+func TestPathWithRSSCoordinationMatters(t *testing.T) {
+	run := func(local bool) float64 {
+		eng := sim.NewEngine()
+		cfg := hw.Config{
+			Name: "src", Sockets: 2, CoresPerSocket: 2,
+			MemBW: 1e12, UncoreBW: 1e12, InterconnectBW: 1e12,
+			RemotePenalty: 0.2,
+			NICs:          []hw.NICConfig{{Name: "nic", Socket: 1, BW: 1e9}},
+		}
+		src := hw.New(eng, cfg)
+		cfg.Name = "dst"
+		dst := hw.New(eng, cfg)
+		link := NewLink(eng, "l", 1e9, 0)
+		sn, _ := src.NIC("nic")
+		dn, _ := dst.NIC("nic")
+		p := NewPath(eng, src, sn, link, dst, dn)
+
+		var rss *RSS
+		var err error
+		if local {
+			rss, err = LocalRSS(eng, dst, dn, 100)
+		} else {
+			// Steer every queue to the remote socket.
+			rss, err = NewRSS(eng, dst, dst.Sockets[0].Cores, 100)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetRSS(rss, 0)
+
+		var last float64
+		const n, bytes = 20, 100
+		for i := 0; i < n; i++ {
+			p.Send(0, bytes, func(a float64) {
+				if a > last {
+					last = a
+				}
+			})
+		}
+		eng.Run()
+		return n * bytes / last
+	}
+	localRate := run(true)
+	remoteRate := run(false)
+	drop := (localRate - remoteRate) / localRate
+	if drop < 0.1 || drop > 0.25 {
+		t.Fatalf("uncoordinated steering drop = %.1f%%, want ~17%%", drop*100)
+	}
+}

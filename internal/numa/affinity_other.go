@@ -1,0 +1,10 @@
+//go:build !linux
+
+package numa
+
+// cpuMask is a placeholder on platforms without sched_setaffinity.
+type cpuMask []uint64
+
+func setAffinity(cpus []int) error    { return ErrUnsupported }
+func setAffinityMask(m cpuMask) error { return ErrUnsupported }
+func getAffinity() (cpuMask, error)   { return nil, ErrUnsupported }

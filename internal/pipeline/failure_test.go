@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"numastream/internal/msgq"
+)
+
+// Failure injection: a receiver confronted with malformed traffic must
+// fail cleanly (no hang, no panic) and report what happened.
+
+func startReceiver(t *testing.T, nDec, expect int) (addr string, done chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done = make(chan error, 1)
+	go func() {
+		done <- RunReceiver(ReceiverOptions{
+			Cfg: receiverCfg(1, nDec), Topo: testTopo(), Bind: "127.0.0.1:0",
+			Expect: expect, Ready: ready,
+		})
+	}()
+	return <-ready, done
+}
+
+func TestReceiverRejectsCorruptCompressedChunk(t *testing.T) {
+	addr, done := startReceiver(t, 1, 1)
+	push := msgq.NewPush()
+	defer push.Close()
+	push.Connect(addr)
+
+	// A chunk claiming to be LZ4 whose payload is garbage.
+	hdr := encodeHeader(Chunk{Seq: 0, RawLen: 1000, Packed: true})
+	if err := push.Send(msgq.Message{hdr, []byte{0xff, 0xff, 0xff, 0xff}}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	err := <-done
+	if err == nil {
+		t.Fatal("receiver accepted a corrupt compressed chunk")
+	}
+	if !strings.Contains(err.Error(), "decompress") {
+		t.Fatalf("error does not identify the stage: %v", err)
+	}
+}
+
+func TestReceiverRejectsMalformedMessage(t *testing.T) {
+	addr, done := startReceiver(t, 0, 1)
+	push := msgq.NewPush()
+	defer push.Close()
+	push.Connect(addr)
+
+	// Wrong part count.
+	if err := push.Send(msgq.Message{[]byte("lonely")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("receiver accepted a one-part message")
+	}
+}
+
+func TestReceiverRejectsShortHeader(t *testing.T) {
+	addr, done := startReceiver(t, 0, 1)
+	push := msgq.NewPush()
+	defer push.Close()
+	push.Connect(addr)
+
+	if err := push.Send(msgq.Message{[]byte{1, 2, 3}, []byte("data")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("receiver accepted a short header")
+	}
+}
+
+// TestSenderDistributesAcrossPeers: a sender with two receiver peers
+// round-robins chunks between them (the PUSH socket's distribution).
+func TestSenderDistributesAcrossPeers(t *testing.T) {
+	topo := testTopo()
+	const chunks = 20
+
+	type gw struct {
+		addr  string
+		count int
+		done  chan error
+	}
+	var mu sync.Mutex
+	total := 0
+	stop := make(chan struct{}) // shared: both gateways stop together
+	mk := func() *gw {
+		g := &gw{done: make(chan error, 1)}
+		ready := make(chan string, 1)
+		go func() {
+			g.done <- RunReceiver(ReceiverOptions{
+				Cfg: receiverCfg(1, 0), Topo: topo, Bind: "127.0.0.1:0",
+				Stop: stop, Ready: ready,
+				Sink: func(c Chunk) error {
+					mu.Lock()
+					g.count++
+					total++
+					if total == chunks {
+						close(stop)
+					}
+					mu.Unlock()
+					return nil
+				},
+			})
+		}()
+		g.addr = <-ready
+		return g
+	}
+	g1, g2 := mk(), mk()
+
+	if err := RunSender(SenderOptions{
+		Cfg: senderCfg(0, 1), Topo: topo,
+		Peers:    []string{g1.addr, g2.addr},
+		MinPeers: 2,
+		Source:   chunkSource(chunks, 4<<10),
+	}); err != nil {
+		t.Fatalf("RunSender: %v", err)
+	}
+	if err := <-g1.done; err != nil {
+		t.Fatalf("gw1: %v", err)
+	}
+	if err := <-g2.done; err != nil {
+		t.Fatalf("gw2: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if g1.count+g2.count != chunks {
+		t.Fatalf("delivered %d+%d, want %d", g1.count, g2.count, chunks)
+	}
+	// Round robin: both peers carry a meaningful share.
+	if g1.count < chunks/4 || g2.count < chunks/4 {
+		t.Fatalf("lopsided distribution: %d vs %d", g1.count, g2.count)
+	}
+}
+
+// helpers shared by forwarder tests
+func newTestPush(t *testing.T, addr string) *msgq.Push {
+	t.Helper()
+	p := msgq.NewPush()
+	t.Cleanup(func() { p.Close() })
+	p.Connect(addr)
+	return p
+}
+
+func testMessage(s string) msgq.Message { return msgq.Message{[]byte(s)} }

@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+
+	"numastream/internal/metrics"
+	"numastream/internal/msgq"
+	"numastream/internal/numa"
+	"numastream/internal/queue"
+	"numastream/internal/runtime"
+)
+
+// The upstream gateway of Figure 1 does more than terminate streams: it
+// is "accumulated for pre-processing or load-balancing before being
+// forwarded to an HPC cluster". RunForwarder is that role: a node that
+// receives chunks from any number of instrument-side senders and
+// re-pushes them — still compressed, no decode/re-encode on the hot
+// path — round-robin across its downstream HPC peers.
+
+// ForwarderOptions configures RunForwarder.
+type ForwarderOptions struct {
+	// Cfg supplies the receive group (thread count and placement);
+	// the same group drives the forwarding workers, which are
+	// receive-shaped work.
+	Cfg  runtime.NodeConfig
+	Topo numa.HostTopology
+	// Bind is the upstream-facing PULL address.
+	Bind string
+	// Downstream are the HPC-side PULL addresses to push to.
+	Downstream []string
+	// MinDownstream delays forwarding until that many downstream
+	// connections are live (load balancing needs all lanes open).
+	MinDownstream int
+	// Expect is the number of chunks to forward before returning;
+	// with Expect <= 0 the forwarder runs until Stop closes.
+	Expect int
+	// Stop ends an open-ended forwarder.
+	Stop <-chan struct{}
+	// Metrics, when non-nil, receives "forward" meters.
+	Metrics *metrics.Registry
+	// QueueCap bounds the internal queue (default 16).
+	QueueCap int
+	// Ready, when non-nil, receives the bound upstream address.
+	Ready chan<- string
+}
+
+// RunForwarder relays chunks from upstream senders to downstream
+// receivers until Expect chunks have been forwarded (or Stop closes).
+// Chunks pass through verbatim — header and payload — so compression
+// survives the hop and per-stream ids stay intact.
+func RunForwarder(opts ForwarderOptions) error {
+	if err := opts.Cfg.Validate(len(opts.Topo.Nodes)); err != nil {
+		return err
+	}
+	if opts.Cfg.Role != runtime.Receiver {
+		return fmt.Errorf("pipeline: RunForwarder needs a receiver-role config, got %q", opts.Cfg.Role)
+	}
+	nRecv := opts.Cfg.Count(runtime.Receive)
+	if nRecv < 1 {
+		return fmt.Errorf("pipeline: forwarder config has no receive threads")
+	}
+	if len(opts.Downstream) == 0 {
+		return fmt.Errorf("pipeline: forwarder has no downstream peers")
+	}
+	if opts.Expect <= 0 && opts.Stop == nil {
+		return fmt.Errorf("pipeline: forwarder needs a positive Expect count or a Stop channel")
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 16
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+
+	pull, err := msgq.NewPull(opts.Bind)
+	if err != nil {
+		return err
+	}
+	defer pull.Close()
+	if opts.Ready != nil {
+		opts.Ready <- pull.Addr().String()
+	}
+
+	push := msgq.NewPush()
+	defer push.Close()
+	for _, peer := range opts.Downstream {
+		push.Connect(peer)
+	}
+	if opts.MinDownstream > 0 {
+		if opts.MinDownstream > len(opts.Downstream) {
+			return fmt.Errorf("pipeline: MinDownstream %d exceeds peer count %d",
+				opts.MinDownstream, len(opts.Downstream))
+		}
+		if err := push.WaitLive(opts.MinDownstream); err != nil {
+			return err
+		}
+	}
+
+	relayQ := queue.New[msgq.Message](opts.QueueCap)
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	stopAll := func() { doneOnce.Do(func() { close(done) }) }
+	if opts.Stop != nil {
+		go func() {
+			<-opts.Stop
+			stopAll()
+		}()
+	}
+	go func() {
+		<-done
+		pull.Close()
+		relayQ.Close()
+	}()
+
+	var mu sync.Mutex
+	forwarded := 0
+	meter := opts.Metrics.Meter("forward")
+
+	g, _ := opts.Cfg.Group(runtime.Receive)
+	pin, err := pinFor(opts.Topo, g.Placement)
+	if err != nil {
+		return err
+	}
+
+	// Intake: pull from upstream into the relay queue.
+	intake := Start("forward-intake", nRecv, pin, func(worker int) error {
+		for {
+			msg, err := pull.Recv()
+			if err == msgq.ErrClosed {
+				return nil
+			}
+			if err != nil {
+				stopAll()
+				return err
+			}
+			if len(msg) != 2 {
+				stopAll()
+				return fmt.Errorf("pipeline: forwarder saw a message with %d parts", len(msg))
+			}
+			if err := relayQ.Put(msg); err != nil {
+				return nil
+			}
+		}
+	})
+
+	// Egress: push downstream round-robin.
+	egress := Start("forward-egress", nRecv, pin, func(worker int) error {
+		for {
+			msg, err := relayQ.Get()
+			if err == queue.ErrClosed {
+				return nil
+			}
+			if err != nil {
+				stopAll()
+				return err
+			}
+			if err := push.Send(msg); err != nil {
+				stopAll()
+				return err
+			}
+			meter.Add(len(msg[1]))
+			mu.Lock()
+			forwarded++
+			hit := opts.Expect > 0 && forwarded == opts.Expect
+			mu.Unlock()
+			if hit {
+				stopAll()
+			}
+		}
+	})
+
+	err1 := intake.Wait()
+	relayQ.Close() // intake drained; let egress finish
+	err2 := egress.Wait()
+	stopAll()
+	if err1 != nil {
+		return err1
+	}
+	if err2 != nil {
+		return err2
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if opts.Expect > 0 && forwarded < opts.Expect {
+		return fmt.Errorf("pipeline: forwarded %d of %d expected chunks", forwarded, opts.Expect)
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestForwarderRelaysAndLoadBalances wires the full Figure-1 chain:
+// one instrument-side sender → gateway forwarder → two HPC-side
+// receivers. Every chunk must arrive intact (still compressed across
+// the first hop) and the downstream load must be balanced.
+func TestForwarderRelaysAndLoadBalances(t *testing.T) {
+	topo := testTopo()
+	const chunks, size = 24, 16 << 10
+
+	// Two HPC consumers with decompression.
+	type consumer struct {
+		addr string
+		done chan error
+	}
+	var mu sync.Mutex
+	got := map[uint64][]byte{}
+	perConsumer := make([]int, 2)
+	total := 0
+	stop := make(chan struct{})
+	mk := func(idx int) *consumer {
+		c := &consumer{done: make(chan error, 1)}
+		ready := make(chan string, 1)
+		go func() {
+			c.done <- RunReceiver(ReceiverOptions{
+				Cfg: receiverCfg(1, 1), Topo: topo, Bind: "127.0.0.1:0",
+				Stop: stop, Ready: ready,
+				Sink: func(ch Chunk) error {
+					mu.Lock()
+					defer mu.Unlock()
+					data := make([]byte, len(ch.Data))
+					copy(data, ch.Data)
+					got[ch.Seq] = data
+					perConsumer[idx]++
+					total++
+					if total == chunks {
+						close(stop)
+					}
+					return nil
+				},
+			})
+		}()
+		c.addr = <-ready
+		return c
+	}
+	c1, c2 := mk(0), mk(1)
+
+	// The gateway forwarder.
+	fwdReady := make(chan string, 1)
+	fwdDone := make(chan error, 1)
+	go func() {
+		fwdDone <- RunForwarder(ForwarderOptions{
+			Cfg:           receiverCfg(2, 0),
+			Topo:          topo,
+			Bind:          "127.0.0.1:0",
+			Downstream:    []string{c1.addr, c2.addr},
+			MinDownstream: 2,
+			Expect:        chunks,
+			Ready:         fwdReady,
+		})
+	}()
+	gwAddr := <-fwdReady
+
+	// The instrument-side sender, compressing.
+	if err := RunSender(SenderOptions{
+		Cfg: senderCfg(2, 2), Topo: topo, Peers: []string{gwAddr},
+		Source: chunkSource(chunks, size),
+	}); err != nil {
+		t.Fatalf("RunSender: %v", err)
+	}
+	if err := <-fwdDone; err != nil {
+		t.Fatalf("RunForwarder: %v", err)
+	}
+	if err := <-c1.done; err != nil {
+		t.Fatalf("consumer 1: %v", err)
+	}
+	if err := <-c2.done; err != nil {
+		t.Fatalf("consumer 2: %v", err)
+	}
+
+	if len(got) != chunks {
+		t.Fatalf("delivered %d unique chunks, want %d", len(got), chunks)
+	}
+	src := chunkSource(chunks, size)
+	for i := 0; i < chunks; i++ {
+		want := src()
+		if !bytes.Equal(got[uint64(i)], want) {
+			t.Fatalf("chunk %d corrupted across the gateway hop", i)
+		}
+	}
+	// Load balancing: both consumers carried a meaningful share.
+	if perConsumer[0] < chunks/4 || perConsumer[1] < chunks/4 {
+		t.Fatalf("lopsided downstream distribution: %v", perConsumer)
+	}
+}
+
+func TestForwarderValidation(t *testing.T) {
+	topo := testTopo()
+	base := ForwarderOptions{
+		Cfg: receiverCfg(1, 0), Topo: topo, Bind: "127.0.0.1:0",
+		Downstream: []string{"127.0.0.1:1"}, Expect: 1,
+	}
+
+	noDownstream := base
+	noDownstream.Downstream = nil
+	if err := RunForwarder(noDownstream); err == nil {
+		t.Error("accepted forwarder without downstream peers")
+	}
+
+	badRole := base
+	badRole.Cfg = senderCfg(0, 1)
+	if err := RunForwarder(badRole); err == nil {
+		t.Error("accepted sender config")
+	}
+
+	noExpect := base
+	noExpect.Expect = 0
+	if err := RunForwarder(noExpect); err == nil {
+		t.Error("accepted forwarder without Expect or Stop")
+	}
+
+	badMin := base
+	badMin.MinDownstream = 5
+	if err := RunForwarder(badMin); err == nil {
+		t.Error("accepted MinDownstream above peer count")
+	}
+}
+
+func TestForwarderRejectsMalformedUpstream(t *testing.T) {
+	topo := testTopo()
+	// Downstream that just exists.
+	stop := make(chan struct{})
+	defer close(stop)
+	dsReady := make(chan string, 1)
+	go RunReceiver(ReceiverOptions{
+		Cfg: receiverCfg(1, 0), Topo: topo, Bind: "127.0.0.1:0",
+		Stop: stop, Ready: dsReady,
+	})
+	dsAddr := <-dsReady
+
+	fwdReady := make(chan string, 1)
+	fwdDone := make(chan error, 1)
+	go func() {
+		fwdDone <- RunForwarder(ForwarderOptions{
+			Cfg: receiverCfg(1, 0), Topo: topo, Bind: "127.0.0.1:0",
+			Downstream: []string{dsAddr}, Expect: 1, Ready: fwdReady,
+		})
+	}()
+	gwAddr := <-fwdReady
+
+	push := newTestPush(t, gwAddr)
+	if err := push.Send(testMessage("only-one-part")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-fwdDone; err == nil {
+		t.Fatal("forwarder accepted a malformed message")
+	}
+}

@@ -1,0 +1,116 @@
+// Package pipeline runs the runtime's heterogeneous software pipeline on
+// real goroutine workers: worker pools whose OS threads are (optionally)
+// pinned to NUMA domains or explicit cores, connected by the bounded
+// queues of package queue. This is the real-execution counterpart of the
+// simulated executor in package runtime — the same NodeConfig drives
+// both.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"numastream/internal/numa"
+)
+
+// PinSpec says where a pool's workers run. Empty CPUSets leaves workers
+// unpinned (the OS-default baseline).
+type PinSpec struct {
+	// CPUSets[i] is the CPU set for worker i (mod len). A one-element
+	// slice pins every worker to the same set (e.g. a whole NUMA
+	// domain); per-worker singleton sets pin each worker to one core.
+	CPUSets [][]int
+}
+
+// Unpinned is the zero PinSpec: OS placement.
+var Unpinned = PinSpec{}
+
+// DomainPin returns a PinSpec placing every worker anywhere within the
+// given topology node — the numa_bind() style the paper uses.
+func DomainPin(topo numa.HostTopology, node int) (PinSpec, error) {
+	n, ok := topo.Node(node)
+	if !ok {
+		return PinSpec{}, fmt.Errorf("pipeline: no such NUMA node %d", node)
+	}
+	return PinSpec{CPUSets: [][]int{n.CPUs}}, nil
+}
+
+// CorePin returns a PinSpec placing worker i on cores[i mod len] alone.
+func CorePin(cores []int) PinSpec {
+	sets := make([][]int, len(cores))
+	for i, c := range cores {
+		sets[i] = []int{c}
+	}
+	return PinSpec{CPUSets: sets}
+}
+
+// SplitPin returns a PinSpec alternating workers across all topology
+// nodes (the Table 1 E/F placement).
+func SplitPin(topo numa.HostTopology) PinSpec {
+	sets := make([][]int, 0, len(topo.Nodes))
+	for _, n := range topo.Nodes {
+		sets = append(sets, n.CPUs)
+	}
+	return PinSpec{CPUSets: sets}
+}
+
+// Pool is a set of worker goroutines running one pipeline stage.
+type Pool struct {
+	name string
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	errs     []error
+	pinFails int
+}
+
+// Start launches n workers running body(workerID). Each worker locks its
+// OS thread and applies the PinSpec before running. Pinning failures
+// (unsupported platform, restricted sandbox) are counted, not fatal —
+// the stage still runs, merely unpinned, and PinFailures reports it.
+func Start(name string, n int, pin PinSpec, body func(worker int) error) *Pool {
+	p := &Pool{name: name}
+	for i := 0; i < n; i++ {
+		i := i
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			if len(pin.CPUSets) > 0 {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				cpus := pin.CPUSets[i%len(pin.CPUSets)]
+				if err := numa.Pin(cpus); err != nil {
+					p.mu.Lock()
+					p.pinFails++
+					p.mu.Unlock()
+				}
+			}
+			if err := body(i); err != nil {
+				p.mu.Lock()
+				p.errs = append(p.errs, fmt.Errorf("%s[%d]: %w", name, i, err))
+				p.mu.Unlock()
+			}
+		}()
+	}
+	return p
+}
+
+// Wait blocks until all workers return and joins their errors.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return errors.Join(p.errs...)
+}
+
+// PinFailures reports how many workers could not be pinned.
+func (p *Pool) PinFailures() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pinFails
+}
+
+// Name returns the pool's stage name.
+func (p *Pool) Name() string { return p.name }

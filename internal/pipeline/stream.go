@@ -1,0 +1,538 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"numastream/internal/lz4"
+	"numastream/internal/metrics"
+	"numastream/internal/msgq"
+	"numastream/internal/numa"
+	"numastream/internal/queue"
+	"numastream/internal/runtime"
+	"numastream/internal/trace"
+)
+
+// opTracer records real-mode worker activity as wall-clock trace events
+// (the real-execution counterpart of hw.Machine.Tracer).
+type opTracer struct {
+	tr    *trace.Tracer
+	start time.Time
+	node  string
+}
+
+func newOpTracer(tr *trace.Tracer, node string) *opTracer {
+	if tr == nil {
+		return nil
+	}
+	return &opTracer{tr: tr, start: time.Now(), node: node}
+}
+
+// span records one operation that began at wall-clock time t0.
+func (o *opTracer) span(stage string, worker int, t0 time.Time, bytes int) {
+	if o == nil {
+		return
+	}
+	o.tr.Add(trace.Event{
+		Name:     stage,
+		Category: stage,
+		Start:    t0.Sub(o.start).Seconds(),
+		Duration: time.Since(t0).Seconds(),
+		Process:  o.node,
+		Track:    worker,
+		Args:     map[string]any{"bytes": bytes},
+	})
+}
+
+// Real-execution streaming: the same NodeConfig that drives the
+// simulated experiments runs here on goroutine pools over TCP. A sender
+// node compresses chunks and pushes them; a receiver node pulls,
+// decompresses and delivers to a sink (Figure 2's {C}/{S}/{R}/{D}).
+
+// Chunk is one unit of streaming data in flight.
+type Chunk struct {
+	Seq    uint64
+	Stream uint32 // stream id; a gateway serves several senders (Fig 13)
+	Data   []byte // current payload: raw or LZ4 block
+	RawLen int    // uncompressed length of the original chunk
+	Packed bool   // Data is an LZ4 block
+}
+
+// message header: seq uint64 | rawLen uint32 | stream uint32 | flags uint8
+const (
+	headerLen  = 17
+	flagPacked = 1
+)
+
+func encodeHeader(c Chunk) []byte {
+	h := make([]byte, headerLen)
+	binary.LittleEndian.PutUint64(h[0:], c.Seq)
+	binary.LittleEndian.PutUint32(h[8:], uint32(c.RawLen))
+	binary.LittleEndian.PutUint32(h[12:], c.Stream)
+	if c.Packed {
+		h[16] = flagPacked
+	}
+	return h
+}
+
+func decodeHeader(h []byte) (Chunk, error) {
+	if len(h) != headerLen {
+		return Chunk{}, fmt.Errorf("pipeline: header of %d bytes", len(h))
+	}
+	return Chunk{
+		Seq:    binary.LittleEndian.Uint64(h[0:]),
+		RawLen: int(binary.LittleEndian.Uint32(h[8:])),
+		Stream: binary.LittleEndian.Uint32(h[12:]),
+		Packed: h[16] == flagPacked,
+	}, nil
+}
+
+// pinFor maps a runtime placement onto host CPUs.
+func pinFor(topo numa.HostTopology, p runtime.Placement) (PinSpec, error) {
+	switch p.Mode {
+	case runtime.Pinned:
+		sets := make([][]int, 0, len(p.Sockets))
+		for _, s := range p.Sockets {
+			n, ok := topo.Node(s)
+			if !ok {
+				return PinSpec{}, fmt.Errorf("pipeline: no NUMA node %d on this host", s)
+			}
+			sets = append(sets, n.CPUs)
+		}
+		return PinSpec{CPUSets: sets}, nil
+	case runtime.PinnedCores:
+		return CorePin(p.Cores), nil
+	case runtime.Split:
+		return SplitPin(topo), nil
+	case runtime.OSDefault:
+		return Unpinned, nil
+	default:
+		return PinSpec{}, fmt.Errorf("pipeline: unknown placement mode %q", p.Mode)
+	}
+}
+
+// Codec selects the compression algorithm for the sender's compress
+// stage.
+type Codec int
+
+// Available codecs: CodecFast is LZ4 level 1 (the paper's choice,
+// line-rate); CodecHC trades compression speed for ratio — worth it
+// when the network, not the CPU, is the bottleneck (§1's effective-
+// bandwidth arithmetic).
+const (
+	CodecFast Codec = iota
+	CodecHC
+)
+
+// SenderOptions configures RunSender.
+type SenderOptions struct {
+	Cfg  runtime.NodeConfig
+	Topo numa.HostTopology
+	// Peers are receiver PULL addresses to connect to.
+	Peers []string
+	// Source yields successive raw chunks; nil ends the stream.
+	Source func() []byte
+	// StreamID tags every chunk so a gateway serving several senders
+	// can separate them (Figure 13's four concurrent streams).
+	StreamID uint32
+	// Codec selects the compression algorithm (default CodecFast).
+	Codec Codec
+	// MinPeers, when positive, delays streaming until that many peer
+	// connections are live, so chunks distribute across all receivers
+	// instead of piling onto whichever dialed first.
+	MinPeers int
+	// HCDepth is the CodecHC chain-search depth (0 = default).
+	HCDepth int
+	// Metrics, when non-nil, receives "compress" and "send" meters.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records per-worker operation spans.
+	Tracer *trace.Tracer
+	// QueueCap bounds the inter-stage queues (default 16).
+	QueueCap int
+}
+
+// RunSender streams chunks from Source through the configured
+// compression and send pools until Source is exhausted, then returns.
+func RunSender(opts SenderOptions) error {
+	if err := opts.Cfg.Validate(len(opts.Topo.Nodes)); err != nil {
+		return err
+	}
+	if opts.Cfg.Role != runtime.Sender {
+		return fmt.Errorf("pipeline: RunSender with role %q", opts.Cfg.Role)
+	}
+	if len(opts.Peers) == 0 {
+		return fmt.Errorf("pipeline: sender has no peers")
+	}
+	if opts.Source == nil {
+		return fmt.Errorf("pipeline: sender has no source")
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 16
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+
+	nSend := opts.Cfg.Count(runtime.Send)
+	if nSend < 1 {
+		return fmt.Errorf("pipeline: sender config has no send threads")
+	}
+	compGroup, hasComp := opts.Cfg.Group(runtime.Compress)
+
+	push := msgq.NewPush()
+	defer push.Close()
+	for _, peer := range opts.Peers {
+		push.Connect(peer)
+	}
+	if opts.MinPeers > 0 {
+		if opts.MinPeers > len(opts.Peers) {
+			return fmt.Errorf("pipeline: MinPeers %d exceeds peer count %d", opts.MinPeers, len(opts.Peers))
+		}
+		if err := push.WaitLive(opts.MinPeers); err != nil {
+			return err
+		}
+	}
+
+	tracer := newOpTracer(opts.Tracer, opts.Cfg.Node)
+	sendQ := queue.New[Chunk](opts.QueueCap)
+	var compQ *queue.Queue[Chunk]
+
+	// Source feeder.
+	feedTo := sendQ
+	if hasComp && compGroup.Count > 0 {
+		compQ = queue.New[Chunk](opts.QueueCap)
+		feedTo = compQ
+	}
+	go func() {
+		defer feedTo.Close()
+		var seq uint64
+		for {
+			raw := opts.Source()
+			if raw == nil {
+				return
+			}
+			c := Chunk{Seq: seq, Stream: opts.StreamID, Data: raw, RawLen: len(raw)}
+			seq++
+			if err := feedTo.Put(c); err != nil {
+				return
+			}
+		}
+	}()
+
+	var pools []*Pool
+
+	if compQ != nil {
+		pin, err := pinFor(opts.Topo, compGroup.Placement)
+		if err != nil {
+			return err
+		}
+		meter := opts.Metrics.Meter("compress")
+		var closeOnce sync.Once
+		var live sync.WaitGroup
+		live.Add(compGroup.Count)
+		pools = append(pools, Start("compress", compGroup.Count, pin, func(worker int) error {
+			defer func() {
+				live.Done()
+				closeOnce.Do(func() {
+					go func() {
+						live.Wait()
+						sendQ.Close()
+					}()
+				})
+			}()
+			buf := make([]byte, 0)
+			for {
+				c, err := compQ.Get()
+				if err == queue.ErrClosed {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				bound := lz4.CompressBound(len(c.Data))
+				if cap(buf) < bound {
+					buf = make([]byte, bound)
+				}
+				var n int
+				switch opts.Codec {
+				case CodecHC:
+					n, err = lz4.CompressBlockHC(c.Data, buf[:bound], opts.HCDepth)
+				default:
+					n, err = lz4.CompressBlock(c.Data, buf[:bound])
+				}
+				if err != nil {
+					return fmt.Errorf("compressing chunk %d: %w", c.Seq, err)
+				}
+				if n < len(c.Data) {
+					packed := make([]byte, n)
+					copy(packed, buf[:n])
+					c.Data = packed
+					c.Packed = true
+				}
+				tracer.span("compress", worker, t0, c.RawLen)
+				meter.Add(c.RawLen)
+				if err := sendQ.Put(c); err != nil {
+					return nil // receiver side gone; drain out
+				}
+			}
+		}))
+	}
+
+	{
+		g, _ := opts.Cfg.Group(runtime.Send)
+		pin, err := pinFor(opts.Topo, g.Placement)
+		if err != nil {
+			return err
+		}
+		meter := opts.Metrics.Meter("send")
+		pools = append(pools, Start("send", nSend, pin, func(worker int) error {
+			for {
+				c, err := sendQ.Get()
+				if err == queue.ErrClosed {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				if err := push.Send(msgq.Message{encodeHeader(c), c.Data}); err != nil {
+					return fmt.Errorf("sending chunk %d: %w", c.Seq, err)
+				}
+				tracer.span("send", worker, t0, len(c.Data))
+				meter.Add(len(c.Data))
+			}
+		}))
+	}
+
+	var firstErr error
+	for _, p := range pools {
+		if err := p.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Unblock a feeder goroutine still waiting on a full queue after a
+	// worker failure.
+	feedTo.Close()
+	return firstErr
+}
+
+// ReceiverOptions configures RunReceiver.
+type ReceiverOptions struct {
+	Cfg  runtime.NodeConfig
+	Topo numa.HostTopology
+	// Bind is the PULL listen address ("127.0.0.1:0" for tests).
+	Bind string
+	// Expect is the number of chunks after which the receiver stops.
+	// With Expect <= 0 the receiver serves until Stop is closed.
+	Expect int
+	// Stop, when non-nil, ends an open-ended receiver: intake closes,
+	// in-flight chunks drain, RunReceiver returns.
+	Stop <-chan struct{}
+	// Sink receives each delivered (decompressed) chunk. It is called
+	// from multiple workers; nil discards.
+	Sink func(Chunk) error
+	// Metrics, when non-nil, receives "receive" and "decompress"
+	// meters.
+	Metrics *metrics.Registry
+	// Tracer, when non-nil, records per-worker operation spans.
+	Tracer *trace.Tracer
+	// QueueCap bounds the inter-stage queues (default 16).
+	QueueCap int
+	// Ready, when non-nil, receives the bound address once listening.
+	Ready chan<- string
+}
+
+// RunReceiver accepts chunks until Expect have been delivered, then
+// returns.
+func RunReceiver(opts ReceiverOptions) error {
+	if err := opts.Cfg.Validate(len(opts.Topo.Nodes)); err != nil {
+		return err
+	}
+	if opts.Cfg.Role != runtime.Receiver {
+		return fmt.Errorf("pipeline: RunReceiver with role %q", opts.Cfg.Role)
+	}
+	if opts.Expect <= 0 && opts.Stop == nil {
+		return fmt.Errorf("pipeline: receiver needs a positive Expect count or a Stop channel")
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 16
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+
+	nRecv := opts.Cfg.Count(runtime.Receive)
+	if nRecv < 1 {
+		return fmt.Errorf("pipeline: receiver config has no receive threads")
+	}
+	decGroup, hasDec := opts.Cfg.Group(runtime.Decompress)
+
+	pull, err := msgq.NewPull(opts.Bind)
+	if err != nil {
+		return err
+	}
+	defer pull.Close()
+	if opts.Ready != nil {
+		opts.Ready <- pull.Addr().String()
+	}
+
+	tracer := newOpTracer(opts.Tracer, opts.Cfg.Node)
+	var decQ *queue.Queue[Chunk]
+	if hasDec && decGroup.Count > 0 {
+		decQ = queue.New[Chunk](opts.QueueCap)
+	}
+
+	var sinkMu sync.Mutex
+	delivered := 0
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	deliver := func(c Chunk) error {
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		if opts.Expect > 0 && delivered >= opts.Expect {
+			return nil
+		}
+		if opts.Sink != nil {
+			if err := opts.Sink(c); err != nil {
+				return err
+			}
+		}
+		delivered++
+		if opts.Expect > 0 && delivered == opts.Expect {
+			doneOnce.Do(func() { close(done) })
+		}
+		return nil
+	}
+	if opts.Stop != nil {
+		go func() {
+			<-opts.Stop
+			doneOnce.Do(func() { close(done) })
+		}()
+	}
+	// A failing worker must stop the intake too, or healthy workers
+	// would wait forever on a stream that can no longer complete.
+	failStop := func(err error) error {
+		if err != nil {
+			doneOnce.Do(func() { close(done) })
+		}
+		return err
+	}
+
+	var pools []*Pool
+
+	{
+		g, _ := opts.Cfg.Group(runtime.Receive)
+		pin, err := pinFor(opts.Topo, g.Placement)
+		if err != nil {
+			return err
+		}
+		meter := opts.Metrics.Meter("receive")
+		var closeOnce sync.Once
+		var live sync.WaitGroup
+		live.Add(nRecv)
+		pools = append(pools, Start("receive", nRecv, pin, func(worker int) error {
+			defer func() {
+				live.Done()
+				if decQ != nil {
+					closeOnce.Do(func() {
+						go func() {
+							live.Wait()
+							decQ.Close()
+						}()
+					})
+				}
+			}()
+			for {
+				msg, err := pull.Recv()
+				if err == msgq.ErrClosed {
+					return nil
+				}
+				if err != nil {
+					return failStop(err)
+				}
+				t0 := time.Now()
+				if len(msg) != 2 {
+					return failStop(fmt.Errorf("pipeline: message with %d parts", len(msg)))
+				}
+				c, err := decodeHeader(msg[0])
+				if err != nil {
+					return failStop(err)
+				}
+				c.Data = msg[1]
+				tracer.span("receive", worker, t0, len(c.Data))
+				meter.Add(len(c.Data))
+				if decQ != nil {
+					if err := decQ.Put(c); err != nil {
+						return nil
+					}
+					continue
+				}
+				if err := deliver(c); err != nil {
+					return failStop(err)
+				}
+			}
+		}))
+	}
+
+	if decQ != nil {
+		pin, err := pinFor(opts.Topo, decGroup.Placement)
+		if err != nil {
+			return err
+		}
+		meter := opts.Metrics.Meter("decompress")
+		pools = append(pools, Start("decompress", decGroup.Count, pin, func(worker int) error {
+			for {
+				c, err := decQ.Get()
+				if err == queue.ErrClosed {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				t0 := time.Now()
+				if c.Packed {
+					raw, err := lz4.Decompress(c.Data, c.RawLen)
+					if err != nil {
+						return failStop(fmt.Errorf("decompressing chunk %d: %w", c.Seq, err))
+					}
+					c.Data = raw
+					c.Packed = false
+				}
+				tracer.span("decompress", worker, t0, c.RawLen)
+				meter.Add(c.RawLen)
+				if err := deliver(c); err != nil {
+					return failStop(err)
+				}
+			}
+		}))
+	}
+
+	// Stop the intake once the expected chunks have been delivered;
+	// this unblocks workers waiting in Recv.
+	go func() {
+		<-done
+		pull.Close()
+		if decQ != nil {
+			decQ.Close()
+		}
+	}()
+
+	var firstErr error
+	for _, p := range pools {
+		if err := p.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if opts.Expect > 0 && delivered < opts.Expect {
+		return fmt.Errorf("pipeline: delivered %d of %d expected chunks", delivered, opts.Expect)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package queue provides bounded, thread-safe queues used between the
+// stages of the streaming pipeline (the "thread-safe queue" of the paper's
+// Figure 2). The queues support multiple concurrent producers and
+// consumers, blocking and non-blocking operations, close semantics with
+// drain, and occupancy statistics used by the metrics subsystem.
+package queue
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a queue that has been closed and,
+// for consumers, fully drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a bounded multi-producer multi-consumer FIFO queue.
+//
+// A Queue must be created with New; the zero value is not usable. All
+// methods are safe for concurrent use. After Close, Put fails immediately
+// with ErrClosed while Get continues to succeed until the queue is empty,
+// so in-flight items are never lost.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	buf    []T
+	head   int
+	count  int
+	closed bool
+
+	// statistics, guarded by mu
+	puts      uint64
+	gets      uint64
+	maxDepth  int
+	putBlocks uint64
+	getBlocks uint64
+}
+
+// New returns an empty queue with the given capacity. Capacity must be at
+// least 1; New panics otherwise, since an unbuffered MPMC queue cannot
+// provide the pipelining the runtime depends on.
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		panic("queue: capacity must be >= 1")
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Cap returns the queue's fixed capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}
+
+// Put appends v, blocking while the queue is full. It returns ErrClosed if
+// the queue is closed before v could be enqueued.
+func (q *Queue[T]) Put(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.count == len(q.buf) && !q.closed {
+		if !blocked {
+			blocked = true
+			q.putBlocks++
+		}
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.enqueueLocked(v)
+	return nil
+}
+
+// TryPut appends v without blocking. It reports whether the item was
+// enqueued; it returns ErrClosed if the queue is closed, nil otherwise.
+func (q *Queue[T]) TryPut(v T) (bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false, ErrClosed
+	}
+	if q.count == len(q.buf) {
+		return false, nil
+	}
+	q.enqueueLocked(v)
+	return true, nil
+}
+
+// Get removes and returns the oldest item, blocking while the queue is
+// empty. It returns ErrClosed once the queue is closed and drained.
+func (q *Queue[T]) Get() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.count == 0 && !q.closed {
+		if !blocked {
+			blocked = true
+			q.getBlocks++
+		}
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if q.count == 0 {
+		return zero, ErrClosed
+	}
+	return q.dequeueLocked(), nil
+}
+
+// TryGet removes and returns the oldest item without blocking. The boolean
+// reports whether an item was returned; err is ErrClosed when the queue is
+// closed and drained.
+func (q *Queue[T]) TryGet() (T, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.count == 0 {
+		if q.closed {
+			return zero, false, ErrClosed
+		}
+		return zero, false, nil
+	}
+	return q.dequeueLocked(), true, nil
+}
+
+// Close marks the queue closed. Pending and future Puts fail with
+// ErrClosed; Gets drain remaining items and then fail with ErrClosed.
+// Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Stats is a snapshot of queue activity counters.
+type Stats struct {
+	Puts      uint64 // total successful enqueues
+	Gets      uint64 // total successful dequeues
+	MaxDepth  int    // high-water mark of occupancy
+	PutBlocks uint64 // Put calls that had to wait (backpressure events)
+	GetBlocks uint64 // Get calls that had to wait (starvation events)
+	Depth     int    // current occupancy
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Puts:      q.puts,
+		Gets:      q.gets,
+		MaxDepth:  q.maxDepth,
+		PutBlocks: q.putBlocks,
+		GetBlocks: q.getBlocks,
+		Depth:     q.count,
+	}
+}
+
+func (q *Queue[T]) enqueueLocked(v T) {
+	tail := (q.head + q.count) % len(q.buf)
+	q.buf[tail] = v
+	q.count++
+	q.puts++
+	if q.count > q.maxDepth {
+		q.maxDepth = q.count
+	}
+	q.notEmpty.Signal()
+}
+
+func (q *Queue[T]) dequeueLocked() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release reference for GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	q.gets++
+	q.notFull.Signal()
+	return v
+}

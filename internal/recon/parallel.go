@@ -1,0 +1,98 @@
+package recon
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// FBPParallel is FBP with the filtering and backprojection fanned out
+// over `workers` goroutines — the analysis-node counterpart of the
+// streaming pipeline's worker pools. Output is identical to FBP (the
+// decomposition is by angle for filtering and by image rows for
+// backprojection, both order-independent up to float addition order,
+// which we keep deterministic by accumulating per-angle partial images
+// in index order).
+func FBPParallel(s *Sinogram, size int, filter Filter, workers int) ([]float64, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("recon: invalid slice size %d", size)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(s.Rows) {
+		workers = len(s.Rows)
+	}
+
+	// Stage 1: filter rows in parallel.
+	filtered := make([][]float64, len(s.Rows))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(s.Rows); i += workers {
+				f, err := FilterRow(s.Rows[i], filter)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				filtered[i] = f
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Stage 2: each worker backprojects a disjoint band of image rows
+	// across all angles — no synchronization on the accumulator, and
+	// per-pixel addition order equals the serial loop's (angle order).
+	img := make([]float64, size*size)
+	width := len(s.Rows[0])
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for yi := w; yi < size; yi += workers {
+				backprojectRow(img, filtered, s.Angles, size, width, yi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return img, nil
+}
+
+// backprojectRow accumulates all angles into image row yi. It mirrors
+// FBP's inner loops exactly so serial and parallel outputs match
+// bit-for-bit.
+func backprojectRow(img []float64, filtered [][]float64, angles []float64, size, width, yi int) {
+	du := 2.0 / float64(width)
+	scale := math.Pi / float64(len(angles))
+	y := 2*float64(yi)/float64(size) - 1 + 1.0/float64(size)
+	for ai, theta := range angles {
+		sin, cos := math.Sin(theta), math.Cos(theta)
+		row := filtered[ai]
+		for xi := 0; xi < size; xi++ {
+			x := 2*float64(xi)/float64(size) - 1 + 1.0/float64(size)
+			u := -x*sin + y*cos
+			pos := (u + 1 - du/2) / du
+			i0 := int(math.Floor(pos))
+			frac := pos - float64(i0)
+			var v float64
+			if i0 >= 0 && i0+1 < width {
+				v = row[i0]*(1-frac) + row[i0+1]*frac
+			} else if i0 == width-1 && frac == 0 {
+				v = row[i0]
+			}
+			img[yi*size+xi] += v * scale
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"numastream/internal/tomo"
+)
+
+func TestSIRTValidation(t *testing.T) {
+	if _, err := SIRT(&Sinogram{}, 16, SIRTOptions{}); err == nil {
+		t.Fatal("empty sinogram accepted")
+	}
+	sino := &Sinogram{Angles: []float64{0}, Rows: [][]float64{{1, 2}}}
+	if _, err := SIRT(sino, 0, SIRTOptions{}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestSIRTReconstructsPhantom(t *testing.T) {
+	p := &tomo.Phantom{Spheres: []tomo.Sphere{
+		{X: -0.3, Y: 0.1, Z: 0, R: 0.3, Density: 1},
+		{X: 0.35, Y: -0.25, Z: 0, R: 0.2, Density: 1.5},
+	}}
+	const size, angles, width = 48, 60, 96
+	sino := buildSinogram(p, 0, angles, width)
+	img, err := SIRT(sino, size, SIRTOptions{Iterations: 60, NonNegative: true})
+	if err != nil {
+		t.Fatalf("SIRT: %v", err)
+	}
+
+	truth := make([]float64, size*size)
+	for yi := 0; yi < size; yi++ {
+		y := 2*float64(yi)/size - 1 + 1.0/size
+		for xi := 0; xi < size; xi++ {
+			x := 2*float64(xi)/size - 1 + 1.0/size
+			truth[yi*size+xi] = p.DensityAt(x, y, 0)
+		}
+	}
+	if c := correlation(img, truth); c < 0.8 {
+		t.Fatalf("SIRT correlation = %.3f, want >= 0.8", c)
+	}
+	// Relative densities reconstruct: the denser sphere reads ~1.5x
+	// the lighter one, both far above background. (Absolute scale
+	// carries the nearest-bin projector's discretization factor.)
+	at := func(x, y float64) float64 {
+		return img[int((y+1)/2*size)*size+int((x+1)/2*size)]
+	}
+	s1, s2, bg := at(-0.3, 0.1), at(0.35, -0.25), at(-0.85, -0.85)
+	if s1 <= bg*3 || s2 <= bg*3 {
+		t.Fatalf("spheres (%.2f, %.2f) not well above background %.2f", s1, s2, bg)
+	}
+	if ratio := s2 / s1; math.Abs(ratio-1.5) > 0.4 {
+		t.Fatalf("density ratio = %.2f, want ~1.5", ratio)
+	}
+}
+
+// TestSIRTBeatsFBPOnFewNoisyAngles: the regime SIRT exists for — 15
+// noisy projections — must favor it over FBP.
+func TestSIRTBeatsFBPOnFewNoisyAngles(t *testing.T) {
+	p := &tomo.Phantom{Spheres: []tomo.Sphere{
+		{X: 0, Y: 0, Z: 0, R: 0.35, Density: 1},
+	}}
+	const size, angles, width = 32, 15, 64
+	sino := buildSinogram(p, 0, angles, width)
+	rng := rand.New(rand.NewSource(8))
+	for _, row := range sino.Rows {
+		for i := range row {
+			row[i] += rng.NormFloat64() * 0.03
+		}
+	}
+
+	truth := make([]float64, size*size)
+	for yi := 0; yi < size; yi++ {
+		y := 2*float64(yi)/size - 1 + 1.0/size
+		for xi := 0; xi < size; xi++ {
+			x := 2*float64(xi)/size - 1 + 1.0/size
+			truth[yi*size+xi] = p.DensityAt(x, y, 0)
+		}
+	}
+
+	fbp, err := FBP(sino, size, RamLak)
+	if err != nil {
+		t.Fatalf("FBP: %v", err)
+	}
+	sirt, err := SIRT(sino, size, SIRTOptions{Iterations: 80, NonNegative: true})
+	if err != nil {
+		t.Fatalf("SIRT: %v", err)
+	}
+	cf, cs := correlation(fbp, truth), correlation(sirt, truth)
+	if cs <= cf {
+		t.Fatalf("SIRT correlation %.3f not above FBP %.3f on few noisy angles", cs, cf)
+	}
+	if cs < 0.8 {
+		t.Fatalf("SIRT correlation = %.3f, want >= 0.8", cs)
+	}
+}
+
+func TestSIRTMoreIterationsReduceResidual(t *testing.T) {
+	p := &tomo.Phantom{Spheres: []tomo.Sphere{{R: 0.4, Density: 1}}}
+	const size, angles, width = 32, 30, 64
+	sino := buildSinogram(p, 0, angles, width)
+
+	residual := func(x []float64) float64 {
+		var sum float64
+		proj := make([]float64, width)
+		for ai, theta := range sino.Angles {
+			for i := range proj {
+				proj[i] = 0
+			}
+			projectRow(x, size, width, theta, proj, nil, nil)
+			for i := range proj {
+				d := sino.Rows[ai][i] - proj[i]
+				sum += d * d
+			}
+		}
+		return sum
+	}
+
+	few, err := SIRT(sino, size, SIRTOptions{Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := SIRT(sino, size, SIRTOptions{Iterations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5, r60 := residual(few), residual(many); r60 >= r5 {
+		t.Fatalf("residual did not decrease: %v (5 it) -> %v (60 it)", r5, r60)
+	}
+}

@@ -1,0 +1,160 @@
+package runtime
+
+import "fmt"
+
+// Autotuning implements the paper's stated future work (§6): "enable the
+// runtime system to adjust the allocation of cores to streaming software
+// processes in response to real-time resource utilization". The tuner
+// inspects observed per-core utilization and remote-access traffic and
+// proposes configuration repairs using the same placement rules the
+// static generator encodes.
+
+// CoreObservation is one core's measured behaviour over an interval —
+// the information "closely monitoring the usage of CPU cores" yields.
+type CoreObservation struct {
+	Core        int
+	Socket      int
+	Utilization float64 // busy fraction, 0..1
+	RemoteFrac  float64 // remote bytes / total bytes, 0..1
+}
+
+// Advice is one proposed configuration change.
+type Advice struct {
+	Group  TaskType
+	Before Placement
+	After  Placement
+	Reason string
+}
+
+// Autotune inspects a receiver node's configuration against topology
+// knowledge and observed core behaviour and returns a repaired
+// configuration plus the changes it made. It applies, in order:
+//
+//  1. Receive threads not pinned to the NIC's domain (or left to the
+//     OS) are pinned there when remote access is observed on busy
+//     cores — Obs. 1/4.
+//  2. Decompression threads sharing the NIC domain (or left to the OS)
+//     are pinned to the opposite domain, relieving the receive path's
+//     socket — §4.2's deployment rule. Single-socket hosts split them.
+//  3. Oversubscribed groups (more threads than cores in their domain)
+//     are trimmed to the domain's core count — §3.1's context-switch
+//     finding.
+func Autotune(cfg NodeConfig, topo TopologyInfo, obs []CoreObservation) (NodeConfig, []Advice, error) {
+	if err := topo.Validate(); err != nil {
+		return NodeConfig{}, nil, err
+	}
+	if cfg.Role != Receiver {
+		return NodeConfig{}, nil, fmt.Errorf("runtime: autotune currently handles receiver nodes, got role %q", cfg.Role)
+	}
+
+	remoteSeen := false
+	for _, o := range obs {
+		if o.Utilization > 0.05 && o.RemoteFrac > 0.1 {
+			remoteSeen = true
+			break
+		}
+	}
+
+	out := cfg
+	out.Groups = append([]TaskGroup(nil), cfg.Groups...)
+	var advice []Advice
+
+	for i, g := range out.Groups {
+		switch g.Type {
+		case Receive:
+			onNIC := g.Placement.Mode == Pinned && len(g.Placement.Sockets) == 1 &&
+				g.Placement.Sockets[0] == topo.NICSocket
+			if !onNIC && (remoteSeen || g.Placement.Mode == OSDefault || g.Placement.Mode == Split) {
+				adv := Advice{
+					Group:  Receive,
+					Before: g.Placement,
+					After:  PinTo(topo.NICSocket),
+					Reason: fmt.Sprintf("receive threads observe remote packet access; pinning to NIC domain %d", topo.NICSocket),
+				}
+				out.Groups[i].Placement = adv.After
+				advice = append(advice, adv)
+			}
+		case Decompress:
+			var want Placement
+			if others := topo.OtherSockets(); len(others) > 0 {
+				want = PinTo(others...)
+			} else {
+				want = SplitAll()
+			}
+			if !placementEqual(g.Placement, want) {
+				adv := Advice{
+					Group:  Decompress,
+					Before: g.Placement,
+					After:  want,
+					Reason: "decompression moved off the NIC domain to relieve the receive path's LLC/memory controller",
+				}
+				out.Groups[i].Placement = adv.After
+				advice = append(advice, adv)
+			}
+		}
+	}
+
+	// Trim oversubscribed groups.
+	for i, g := range out.Groups {
+		capacity := domainCapacity(g.Placement, topo)
+		if capacity > 0 && g.Count > capacity {
+			adv := Advice{
+				Group:  g.Type,
+				Before: g.Placement,
+				After:  g.Placement,
+				Reason: fmt.Sprintf("%s trimmed from %d to %d threads (one per core avoids context switching)", g.Type, g.Count, capacity),
+			}
+			out.Groups[i].Count = capacity
+			advice = append(advice, adv)
+		}
+	}
+
+	return out, advice, nil
+}
+
+func placementEqual(a, b Placement) bool {
+	if a.Mode != b.Mode || len(a.Sockets) != len(b.Sockets) {
+		return false
+	}
+	for i := range a.Sockets {
+		if a.Sockets[i] != b.Sockets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// domainCapacity returns how many cores a placement spans (0 = unknown,
+// e.g. OS placement).
+func domainCapacity(p Placement, topo TopologyInfo) int {
+	switch p.Mode {
+	case Pinned:
+		return len(p.Sockets) * topo.CoresPerSocket
+	case PinnedCores:
+		return len(p.Cores)
+	case Split:
+		return topo.Sockets * topo.CoresPerSocket
+	default:
+		return 0
+	}
+}
+
+// ObservationsFromStats converts per-core measurements (e.g.
+// hw.CoreStat-shaped data) into CoreObservations. Utilization and remote
+// fraction are passed through; callers compute them however their
+// monitoring source provides.
+func ObservationsFromStats(cores []int, sockets []int, util []float64, remoteFrac []float64) ([]CoreObservation, error) {
+	if len(cores) != len(sockets) || len(cores) != len(util) || len(cores) != len(remoteFrac) {
+		return nil, fmt.Errorf("runtime: observation slices disagree in length")
+	}
+	out := make([]CoreObservation, len(cores))
+	for i := range cores {
+		out[i] = CoreObservation{
+			Core:        cores[i],
+			Socket:      sockets[i],
+			Utilization: util[i],
+			RemoteFrac:  remoteFrac[i],
+		}
+	}
+	return out, nil
+}

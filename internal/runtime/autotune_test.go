@@ -1,0 +1,150 @@
+package runtime
+
+import "testing"
+
+func twoSocketTopo() TopologyInfo {
+	return TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+}
+
+func remoteObs() []CoreObservation {
+	return []CoreObservation{
+		{Core: 0, Socket: 0, Utilization: 0.9, RemoteFrac: 0.8},
+		{Core: 16, Socket: 1, Utilization: 0.1, RemoteFrac: 0},
+	}
+}
+
+func TestAutotunePinsReceiveToNICDomain(t *testing.T) {
+	cfg := NodeConfig{Node: "gw", Role: Receiver, Groups: []TaskGroup{
+		{Type: Receive, Count: 4, Placement: OS()},
+		{Type: Decompress, Count: 4, Placement: PinTo(0)},
+	}}
+	out, advice, err := Autotune(cfg, twoSocketTopo(), remoteObs())
+	if err != nil {
+		t.Fatalf("Autotune: %v", err)
+	}
+	recv, _ := out.Group(Receive)
+	if recv.Placement.Mode != Pinned || recv.Placement.Sockets[0] != 1 {
+		t.Fatalf("receive placement = %+v, want pinned to NIC domain 1", recv.Placement)
+	}
+	if len(advice) == 0 {
+		t.Fatal("no advice produced")
+	}
+	// The already-correct decompress group stays put.
+	dec, _ := out.Group(Decompress)
+	if dec.Placement.Mode != Pinned || dec.Placement.Sockets[0] != 0 {
+		t.Fatalf("decompress placement = %+v, should be untouched", dec.Placement)
+	}
+}
+
+func TestAutotuneMovesDecompressOffNICDomain(t *testing.T) {
+	cfg := NodeConfig{Node: "gw", Role: Receiver, Groups: []TaskGroup{
+		{Type: Receive, Count: 4, Placement: PinTo(1)},
+		{Type: Decompress, Count: 4, Placement: PinTo(1)},
+	}}
+	out, advice, err := Autotune(cfg, twoSocketTopo(), nil)
+	if err != nil {
+		t.Fatalf("Autotune: %v", err)
+	}
+	dec, _ := out.Group(Decompress)
+	if dec.Placement.Mode != Pinned || dec.Placement.Sockets[0] != 0 {
+		t.Fatalf("decompress placement = %+v, want pinned to domain 0", dec.Placement)
+	}
+	if len(advice) != 1 {
+		t.Fatalf("advice = %+v, want exactly the decompress move", advice)
+	}
+}
+
+func TestAutotuneStableOnGoodConfig(t *testing.T) {
+	cfg := NodeConfig{Node: "gw", Role: Receiver, Groups: []TaskGroup{
+		{Type: Receive, Count: 4, Placement: PinTo(1)},
+		{Type: Decompress, Count: 4, Placement: PinTo(0)},
+	}}
+	out, advice, err := Autotune(cfg, twoSocketTopo(), remoteObs())
+	if err != nil {
+		t.Fatalf("Autotune: %v", err)
+	}
+	if len(advice) != 0 {
+		t.Fatalf("well-placed config produced advice: %+v", advice)
+	}
+	// Idempotence: tuning the tuned config changes nothing.
+	out2, advice2, err := Autotune(out, twoSocketTopo(), remoteObs())
+	if err != nil || len(advice2) != 0 {
+		t.Fatalf("second Autotune: %+v, %v", advice2, err)
+	}
+	if out2.Count(Receive) != out.Count(Receive) {
+		t.Fatal("autotune not idempotent")
+	}
+}
+
+func TestAutotuneTrimsOversubscription(t *testing.T) {
+	cfg := NodeConfig{Node: "gw", Role: Receiver, Groups: []TaskGroup{
+		{Type: Receive, Count: 40, Placement: PinTo(1)},
+	}}
+	out, advice, err := Autotune(cfg, twoSocketTopo(), nil)
+	if err != nil {
+		t.Fatalf("Autotune: %v", err)
+	}
+	if out.Count(Receive) != 16 {
+		t.Fatalf("receive count = %d, want trimmed to 16", out.Count(Receive))
+	}
+	if len(advice) == 0 {
+		t.Fatal("trim produced no advice")
+	}
+}
+
+func TestAutotuneSingleSocketSplitsDecompress(t *testing.T) {
+	topo := TopologyInfo{Sockets: 1, CoresPerSocket: 32, NICSocket: 0}
+	cfg := NodeConfig{Node: "gw", Role: Receiver, Groups: []TaskGroup{
+		{Type: Receive, Count: 4, Placement: PinTo(0)},
+		{Type: Decompress, Count: 4, Placement: OS()},
+	}}
+	out, _, err := Autotune(cfg, topo, nil)
+	if err != nil {
+		t.Fatalf("Autotune: %v", err)
+	}
+	dec, _ := out.Group(Decompress)
+	if dec.Placement.Mode != Split {
+		t.Fatalf("decompress placement = %+v, want split on single socket", dec.Placement)
+	}
+}
+
+func TestAutotuneRejectsSenderConfig(t *testing.T) {
+	cfg := NodeConfig{Node: "s", Role: Sender}
+	if _, _, err := Autotune(cfg, twoSocketTopo(), nil); err == nil {
+		t.Fatal("sender config accepted")
+	}
+}
+
+func TestAutotuneRejectsBadTopology(t *testing.T) {
+	cfg := NodeConfig{Node: "gw", Role: Receiver}
+	if _, _, err := Autotune(cfg, TopologyInfo{}, nil); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+}
+
+func TestAutotuneDoesNotMutateInput(t *testing.T) {
+	cfg := NodeConfig{Node: "gw", Role: Receiver, Groups: []TaskGroup{
+		{Type: Receive, Count: 4, Placement: OS()},
+	}}
+	_, _, err := Autotune(cfg, twoSocketTopo(), remoteObs())
+	if err != nil {
+		t.Fatalf("Autotune: %v", err)
+	}
+	if cfg.Groups[0].Placement.Mode != OSDefault {
+		t.Fatal("Autotune mutated its input config")
+	}
+}
+
+func TestObservationsFromStats(t *testing.T) {
+	obs, err := ObservationsFromStats(
+		[]int{0, 1}, []int{0, 0}, []float64{0.5, 0.6}, []float64{0.1, 0.2})
+	if err != nil {
+		t.Fatalf("ObservationsFromStats: %v", err)
+	}
+	if len(obs) != 2 || obs[1].Utilization != 0.6 || obs[1].RemoteFrac != 0.2 {
+		t.Fatalf("obs = %+v", obs)
+	}
+	if _, err := ObservationsFromStats([]int{0}, []int{0, 1}, []float64{0.5}, []float64{0.1}); err == nil {
+		t.Fatal("mismatched slice lengths accepted")
+	}
+}

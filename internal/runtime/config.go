@@ -1,0 +1,169 @@
+// Package runtime implements the paper's contribution: a NUMA-aware
+// runtime system for scientific data streaming. It defines the node
+// configurations the "runtime configuration generator" of Figure 4
+// produces (task types, task counts, execution locations), generates
+// those configurations from topology knowledge (which NUMA domain the
+// data NIC hangs off, core counts per socket), and executes streaming
+// pipelines either on the hardware/network models (for the paper's
+// experiments) or on real goroutine workers over TCP (package pipeline).
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TaskType identifies one of the four pipeline task classes of Figure 2.
+type TaskType string
+
+// The pipeline task classes.
+const (
+	Compress   TaskType = "compress"
+	Send       TaskType = "send"
+	Receive    TaskType = "receive"
+	Decompress TaskType = "decompress"
+)
+
+// PlacementMode says how a task group's threads map to NUMA domains.
+type PlacementMode string
+
+// Placement modes. Pinned restricts threads to an explicit socket list
+// (the paper's numa_bind()); Split balances threads across all sockets
+// (Table 1 configurations E/F); OSDefault leaves placement to the OS
+// scheduler (configurations G/H and the §4.2 baseline).
+const (
+	Pinned      PlacementMode = "pinned"
+	PinnedCores PlacementMode = "cores"
+	Split       PlacementMode = "split"
+	OSDefault   PlacementMode = "os"
+)
+
+// Placement is a task group's execution-location policy.
+type Placement struct {
+	Mode    PlacementMode `json:"mode"`
+	Sockets []int         `json:"sockets,omitempty"` // for Pinned
+	Cores   []int         `json:"cores,omitempty"`   // for PinnedCores
+}
+
+// PinTo returns a Pinned placement on the given sockets.
+func PinTo(sockets ...int) Placement {
+	return Placement{Mode: Pinned, Sockets: sockets}
+}
+
+// PinToCores returns a PinnedCores placement on explicit core ids
+// (threads round-robin over the listed cores), the §3.1 experiments'
+// "P processes on c cores" style.
+func PinToCores(cores ...int) Placement {
+	return Placement{Mode: PinnedCores, Cores: cores}
+}
+
+// SplitAll returns a Split placement.
+func SplitAll() Placement { return Placement{Mode: Split} }
+
+// OS returns an OSDefault placement.
+func OS() Placement { return Placement{Mode: OSDefault} }
+
+// TaskGroup is one entry of a node configuration: how many threads of a
+// task type to run and where.
+type TaskGroup struct {
+	Type      TaskType  `json:"type"`
+	Count     int       `json:"count"`
+	Placement Placement `json:"placement"`
+}
+
+// Role distinguishes the two ends of a stream.
+type Role string
+
+// Node roles.
+const (
+	Sender   Role = "sender"
+	Receiver Role = "receiver"
+)
+
+// NodeConfig is the per-node configuration file of Figure 4: the task
+// types, counts and execution locations a node runs for each stream it
+// participates in.
+type NodeConfig struct {
+	Node   string      `json:"node"`
+	Role   Role        `json:"role"`
+	Groups []TaskGroup `json:"groups"`
+}
+
+// Group returns the group of the given type and whether it exists.
+func (c NodeConfig) Group(t TaskType) (TaskGroup, bool) {
+	for _, g := range c.Groups {
+		if g.Type == t {
+			return g, true
+		}
+	}
+	return TaskGroup{}, false
+}
+
+// Count returns the thread count for a task type (0 if absent).
+func (c NodeConfig) Count(t TaskType) int {
+	g, _ := c.Group(t)
+	return g.Count
+}
+
+// Validate checks structural sanity against a topology with the given
+// socket count.
+func (c NodeConfig) Validate(sockets int) error {
+	if c.Role != Sender && c.Role != Receiver {
+		return fmt.Errorf("runtime: node %q: invalid role %q", c.Node, c.Role)
+	}
+	seen := map[TaskType]bool{}
+	for _, g := range c.Groups {
+		switch g.Type {
+		case Compress, Send, Receive, Decompress:
+		default:
+			return fmt.Errorf("runtime: node %q: unknown task type %q", c.Node, g.Type)
+		}
+		if seen[g.Type] {
+			return fmt.Errorf("runtime: node %q: duplicate task group %q", c.Node, g.Type)
+		}
+		seen[g.Type] = true
+		if g.Count < 0 {
+			return fmt.Errorf("runtime: node %q: negative count for %q", c.Node, g.Type)
+		}
+		switch g.Placement.Mode {
+		case Pinned:
+			if len(g.Placement.Sockets) == 0 {
+				return fmt.Errorf("runtime: node %q: pinned %q group without sockets", c.Node, g.Type)
+			}
+			for _, s := range g.Placement.Sockets {
+				if s < 0 || s >= sockets {
+					return fmt.Errorf("runtime: node %q: %q pinned to nonexistent socket %d", c.Node, g.Type, s)
+				}
+			}
+		case PinnedCores:
+			if len(g.Placement.Cores) == 0 {
+				return fmt.Errorf("runtime: node %q: core-pinned %q group without cores", c.Node, g.Type)
+			}
+		case Split, OSDefault:
+			if len(g.Placement.Sockets) != 0 {
+				return fmt.Errorf("runtime: node %q: %q placement mode %q does not take sockets", c.Node, g.Type, g.Placement.Mode)
+			}
+		default:
+			return fmt.Errorf("runtime: node %q: unknown placement mode %q", c.Node, g.Placement.Mode)
+		}
+		if (c.Role == Sender) != (g.Type == Compress || g.Type == Send) {
+			return fmt.Errorf("runtime: node %q: task %q does not belong on a %s", c.Node, g.Type, c.Role)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON round-trips via the default encoding; provided as explicit
+// helpers so cmd/confgen and cmd/numastream share one wire format.
+func EncodeConfig(c NodeConfig) ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// DecodeConfig parses a configuration file produced by EncodeConfig.
+func DecodeConfig(data []byte) (NodeConfig, error) {
+	var c NodeConfig
+	if err := json.Unmarshal(data, &c); err != nil {
+		return NodeConfig{}, fmt.Errorf("runtime: decoding config: %w", err)
+	}
+	return c, nil
+}

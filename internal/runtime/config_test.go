@@ -1,0 +1,291 @@
+package runtime
+
+import (
+	"testing"
+)
+
+func validReceiverCfg() NodeConfig {
+	return NodeConfig{
+		Node: "lynxdtn",
+		Role: Receiver,
+		Groups: []TaskGroup{
+			{Type: Receive, Count: 4, Placement: PinTo(1)},
+			{Type: Decompress, Count: 4, Placement: PinTo(0)},
+		},
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validReceiverCfg().Validate(2); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	sender := NodeConfig{
+		Node: "updraft1",
+		Role: Sender,
+		Groups: []TaskGroup{
+			{Type: Compress, Count: 32, Placement: SplitAll()},
+			{Type: Send, Count: 4, Placement: OS()},
+		},
+	}
+	if err := sender.Validate(2); err != nil {
+		t.Fatalf("Validate sender: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*NodeConfig)
+	}{
+		{"bad role", func(c *NodeConfig) { c.Role = "router" }},
+		{"unknown task", func(c *NodeConfig) { c.Groups[0].Type = "transmogrify" }},
+		{"duplicate group", func(c *NodeConfig) { c.Groups = append(c.Groups, c.Groups[0]) }},
+		{"negative count", func(c *NodeConfig) { c.Groups[0].Count = -1 }},
+		{"pinned without sockets", func(c *NodeConfig) { c.Groups[0].Placement = Placement{Mode: Pinned} }},
+		{"pinned out of range", func(c *NodeConfig) { c.Groups[0].Placement = PinTo(7) }},
+		{"split with sockets", func(c *NodeConfig) {
+			c.Groups[0].Placement = Placement{Mode: Split, Sockets: []int{0}}
+		}},
+		{"unknown mode", func(c *NodeConfig) { c.Groups[0].Placement = Placement{Mode: "magnetic"} }},
+		{"sender task on receiver", func(c *NodeConfig) { c.Groups[0].Type = Compress }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validReceiverCfg()
+			tc.mut(&cfg)
+			if err := cfg.Validate(2); err == nil {
+				t.Fatal("Validate accepted an invalid config")
+			}
+		})
+	}
+}
+
+func TestGroupLookup(t *testing.T) {
+	cfg := validReceiverCfg()
+	g, ok := cfg.Group(Receive)
+	if !ok || g.Count != 4 {
+		t.Fatalf("Group(Receive) = %+v, %v", g, ok)
+	}
+	if _, ok := cfg.Group(Compress); ok {
+		t.Fatal("Group(Compress) found on a receiver config")
+	}
+	if cfg.Count(Decompress) != 4 || cfg.Count(Send) != 0 {
+		t.Fatalf("Count wrong: %d, %d", cfg.Count(Decompress), cfg.Count(Send))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := validReceiverCfg()
+	data, err := EncodeConfig(cfg)
+	if err != nil {
+		t.Fatalf("EncodeConfig: %v", err)
+	}
+	got, err := DecodeConfig(data)
+	if err != nil {
+		t.Fatalf("DecodeConfig: %v", err)
+	}
+	if got.Node != cfg.Node || got.Role != cfg.Role || len(got.Groups) != len(cfg.Groups) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range cfg.Groups {
+		a, b := cfg.Groups[i], got.Groups[i]
+		if a.Type != b.Type || a.Count != b.Count || a.Placement.Mode != b.Placement.Mode {
+			t.Fatalf("group %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestDecodeConfigRejectsGarbage(t *testing.T) {
+	if _, err := DecodeConfig([]byte("{not json")); err == nil {
+		t.Fatal("DecodeConfig accepted garbage")
+	}
+}
+
+func TestTopologyInfoValidate(t *testing.T) {
+	good := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, bad := range []TopologyInfo{
+		{Sockets: 0, CoresPerSocket: 16, NICSocket: 0},
+		{Sockets: 2, CoresPerSocket: 0, NICSocket: 0},
+		{Sockets: 2, CoresPerSocket: 16, NICSocket: 2},
+		{Sockets: 2, CoresPerSocket: 16, NICSocket: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestOtherSockets(t *testing.T) {
+	topo := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	if got := topo.OtherSockets(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("OtherSockets = %v", got)
+	}
+	single := TopologyInfo{Sockets: 1, CoresPerSocket: 32, NICSocket: 0}
+	if got := single.OtherSockets(); len(got) != 0 {
+		t.Fatalf("OtherSockets(single) = %v", got)
+	}
+}
+
+func TestGenerateReceiverConfig(t *testing.T) {
+	topo := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, err := GenerateReceiverConfig("lynxdtn", topo, GenerateOptions{Streams: 4, Compression: true})
+	if err != nil {
+		t.Fatalf("GenerateReceiverConfig: %v", err)
+	}
+	if err := cfg.Validate(2); err != nil {
+		t.Fatalf("generated config invalid: %v", err)
+	}
+	// The paper's Fig 13 deployment: 4 receive threads pinned to the
+	// NIC domain and 4 decompress threads on the opposite domain.
+	recv, _ := cfg.Group(Receive)
+	if recv.Count != 4 || recv.Placement.Mode != Pinned || recv.Placement.Sockets[0] != 1 {
+		t.Fatalf("receive group = %+v", recv)
+	}
+	dec, _ := cfg.Group(Decompress)
+	if dec.Count != 4 || dec.Placement.Mode != Pinned || dec.Placement.Sockets[0] != 0 {
+		t.Fatalf("decompress group = %+v", dec)
+	}
+}
+
+func TestGenerateReceiverConfigSingleSocket(t *testing.T) {
+	topo := TopologyInfo{Sockets: 1, CoresPerSocket: 32, NICSocket: 0}
+	cfg, err := GenerateReceiverConfig("polaris", topo, GenerateOptions{Streams: 2, Compression: true})
+	if err != nil {
+		t.Fatalf("GenerateReceiverConfig: %v", err)
+	}
+	dec, _ := cfg.Group(Decompress)
+	if dec.Placement.Mode != Split {
+		t.Fatalf("single-socket decompress placement = %+v", dec.Placement)
+	}
+	if dec.Count != 16 {
+		t.Fatalf("decompress count = %d, want 16", dec.Count)
+	}
+}
+
+func TestGenerateReceiverConfigNoCompression(t *testing.T) {
+	topo := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, err := GenerateReceiverConfig("gw", topo, GenerateOptions{Streams: 1})
+	if err != nil {
+		t.Fatalf("GenerateReceiverConfig: %v", err)
+	}
+	if _, ok := cfg.Group(Decompress); ok {
+		t.Fatal("decompress group present without compression")
+	}
+	if cfg.Count(Receive) != 16 {
+		t.Fatalf("receive count = %d, want 16 (whole NIC domain)", cfg.Count(Receive))
+	}
+}
+
+func TestGenerateReceiverManyStreamsStillHasThread(t *testing.T) {
+	topo := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, err := GenerateReceiverConfig("gw", topo, GenerateOptions{Streams: 64})
+	if err != nil {
+		t.Fatalf("GenerateReceiverConfig: %v", err)
+	}
+	if cfg.Count(Receive) < 1 {
+		t.Fatal("generator produced zero receive threads")
+	}
+}
+
+func TestGenerateSenderConfig(t *testing.T) {
+	topo := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, err := GenerateSenderConfig("updraft1", topo, GenerateOptions{Streams: 1, Compression: true})
+	if err != nil {
+		t.Fatalf("GenerateSenderConfig: %v", err)
+	}
+	if err := cfg.Validate(2); err != nil {
+		t.Fatalf("generated config invalid: %v", err)
+	}
+	if cfg.Count(Compress) != 32 {
+		t.Fatalf("compress count = %d, want 32 (all cores)", cfg.Count(Compress))
+	}
+	if cfg.Count(Send) != 4 {
+		t.Fatalf("send count = %d, want 4", cfg.Count(Send))
+	}
+}
+
+func TestGenerateSenderConfigOverrides(t *testing.T) {
+	topo := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	cfg, err := GenerateSenderConfig("s", topo, GenerateOptions{SendThreads: 8})
+	if err != nil {
+		t.Fatalf("GenerateSenderConfig: %v", err)
+	}
+	if cfg.Count(Send) != 8 {
+		t.Fatalf("send count = %d, want 8", cfg.Count(Send))
+	}
+	if _, ok := cfg.Group(Compress); ok {
+		t.Fatal("compression group present without compression option")
+	}
+}
+
+func TestGenerateRejectsBadTopology(t *testing.T) {
+	bad := TopologyInfo{Sockets: 0}
+	if _, err := GenerateReceiverConfig("x", bad, GenerateOptions{}); err == nil {
+		t.Fatal("receiver generator accepted bad topology")
+	}
+	if _, err := GenerateSenderConfig("x", bad, GenerateOptions{}); err == nil {
+		t.Fatal("sender generator accepted bad topology")
+	}
+}
+
+func TestGenerateOSBaseline(t *testing.T) {
+	cfg := validReceiverCfg()
+	os := GenerateOSBaseline(cfg)
+	for _, g := range os.Groups {
+		if g.Placement.Mode != OSDefault {
+			t.Fatalf("group %q placement = %v, want OS", g.Type, g.Placement.Mode)
+		}
+	}
+	// Counts and the original config are untouched.
+	if os.Count(Receive) != 4 || cfg.Groups[0].Placement.Mode != Pinned {
+		t.Fatal("OS baseline mutated counts or the source config")
+	}
+}
+
+func TestGenerateSenderTargetGbps(t *testing.T) {
+	topo := TopologyInfo{Sockets: 2, CoresPerSocket: 16, NICSocket: 1}
+	// 37 Gbps at the calibrated per-thread rate needs 8 threads (the
+	// paper's configuration-A arithmetic run backwards).
+	cfg, err := GenerateSenderConfig("s", topo, GenerateOptions{
+		Compression: true, TargetGbps: 37,
+	})
+	if err != nil {
+		t.Fatalf("GenerateSenderConfig: %v", err)
+	}
+	if got := cfg.Count(Compress); got != 8 {
+		t.Fatalf("compress count = %d, want 8", got)
+	}
+	// An unreachable target caps at the core count.
+	cfg, err = GenerateSenderConfig("s", topo, GenerateOptions{
+		Compression: true, TargetGbps: 1000,
+	})
+	if err != nil {
+		t.Fatalf("GenerateSenderConfig: %v", err)
+	}
+	if got := cfg.Count(Compress); got != 32 {
+		t.Fatalf("compress count = %d, want 32 (all cores)", got)
+	}
+	// Tiny targets still get one thread.
+	cfg, err = GenerateSenderConfig("s", topo, GenerateOptions{
+		Compression: true, TargetGbps: 0.1,
+	})
+	if err != nil {
+		t.Fatalf("GenerateSenderConfig: %v", err)
+	}
+	if got := cfg.Count(Compress); got != 1 {
+		t.Fatalf("compress count = %d, want 1", got)
+	}
+	// A custom per-thread rate changes the sizing.
+	cfg, err = GenerateSenderConfig("s", topo, GenerateOptions{
+		Compression: true, TargetGbps: 20, CompressGbpsPerThread: 10,
+	})
+	if err != nil {
+		t.Fatalf("GenerateSenderConfig: %v", err)
+	}
+	if got := cfg.Count(Compress); got != 2 {
+		t.Fatalf("compress count = %d, want 2", got)
+	}
+}

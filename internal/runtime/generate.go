@@ -1,0 +1,178 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// TopologyInfo is the hardware knowledge base the configuration
+// generator consumes: socket/core organization plus the NUMA domain the
+// data-plane NIC is attached to. It is deliberately minimal — it can be
+// filled from numa.Discover() on a real host or from an hw.Config for a
+// modelled one.
+type TopologyInfo struct {
+	Sockets        int
+	CoresPerSocket int
+	NICSocket      int
+}
+
+// Validate checks the topology description.
+func (t TopologyInfo) Validate() error {
+	if t.Sockets < 1 || t.CoresPerSocket < 1 {
+		return fmt.Errorf("runtime: invalid topology %d sockets x %d cores", t.Sockets, t.CoresPerSocket)
+	}
+	if t.NICSocket < 0 || t.NICSocket >= t.Sockets {
+		return fmt.Errorf("runtime: NIC socket %d out of range", t.NICSocket)
+	}
+	return nil
+}
+
+// OtherSockets returns all socket ids except the NIC's.
+func (t TopologyInfo) OtherSockets() []int {
+	var out []int
+	for s := 0; s < t.Sockets; s++ {
+		if s != t.NICSocket {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// GenerateOptions tunes the configuration generator.
+type GenerateOptions struct {
+	// Streams is the number of concurrent streams this node serves
+	// (the gateway in Figure 13 serves four). Minimum 1.
+	Streams int
+	// Compression enables the compression/decompression stages.
+	Compression bool
+	// SendThreads overrides the per-stream send/receive thread count;
+	// 0 selects the generator's choice.
+	SendThreads int
+	// TargetGbps, when positive, sizes the compression thread count to
+	// sustain that end-to-end rate instead of using every core: the
+	// §1 arithmetic (effective rate = compression throughput) run
+	// backwards. Capped at the node's core count.
+	TargetGbps float64
+	// CompressGbpsPerThread is the per-core compression rate assumed
+	// by TargetGbps sizing (0 selects the calibrated LZ4 rate).
+	CompressGbpsPerThread float64
+}
+
+func (o *GenerateOptions) normalize() {
+	if o.Streams < 1 {
+		o.Streams = 1
+	}
+}
+
+// GenerateReceiverConfig produces the gateway-side configuration the
+// paper's runtime configuration generator would emit (§4.2): receiving
+// threads pinned to the NIC's NUMA domain with one core each (running
+// several receive threads per core costs context switches, §3.1), and
+// decompression threads pinned to the opposite domain so receive and
+// decompress traffic do not contend for one socket's LLC/memory
+// controller. On single-socket machines decompression splits across the
+// (only) socket.
+func GenerateReceiverConfig(node string, topo TopologyInfo, opts GenerateOptions) (NodeConfig, error) {
+	if err := topo.Validate(); err != nil {
+		return NodeConfig{}, err
+	}
+	opts.normalize()
+
+	recv := opts.SendThreads
+	if recv <= 0 {
+		recv = topo.CoresPerSocket / opts.Streams
+		if recv < 1 {
+			recv = 1
+		}
+	}
+	cfg := NodeConfig{
+		Node: node,
+		Role: Receiver,
+		Groups: []TaskGroup{
+			{Type: Receive, Count: recv, Placement: PinTo(topo.NICSocket)},
+		},
+	}
+	if opts.Compression {
+		others := topo.OtherSockets()
+		var placement Placement
+		var coresAway int
+		if len(others) == 0 {
+			placement = SplitAll()
+			coresAway = topo.CoresPerSocket
+		} else {
+			placement = PinTo(others...)
+			coresAway = topo.CoresPerSocket * len(others)
+		}
+		decomp := coresAway / opts.Streams
+		if decomp < 1 {
+			decomp = 1
+		}
+		cfg.Groups = append(cfg.Groups, TaskGroup{Type: Decompress, Count: decomp, Placement: placement})
+	}
+	return cfg, nil
+}
+
+// GenerateSenderConfig produces the sender-side configuration: as many
+// compression threads as the node has cores (compression throughput
+// scales with threads up to the core count and its placement is
+// indifferent, Obs. 2), split across all sockets, plus send threads
+// matched to the receiver's receive threads. Sender thread placement
+// does not affect throughput (Obs. 4), so send threads are left split.
+func GenerateSenderConfig(node string, topo TopologyInfo, opts GenerateOptions) (NodeConfig, error) {
+	if err := topo.Validate(); err != nil {
+		return NodeConfig{}, err
+	}
+	opts.normalize()
+
+	send := opts.SendThreads
+	if send <= 0 {
+		send = 4 // the paper's multi-stream deployments use 4
+	}
+	cfg := NodeConfig{
+		Node: node,
+		Role: Sender,
+		Groups: []TaskGroup{
+			{Type: Send, Count: send, Placement: SplitAll()},
+		},
+	}
+	if opts.Compression {
+		count := topo.Sockets * topo.CoresPerSocket
+		if opts.TargetGbps > 0 {
+			perThread := opts.CompressGbpsPerThread
+			if perThread <= 0 {
+				perThread = defaultCompressGbpsPerThread
+			}
+			// Size with a 0.5% tolerance so a target equal to N
+			// threads' nominal rate selects N, not N+1.
+			need := int(math.Ceil(opts.TargetGbps / perThread * 0.995))
+			if need < 1 {
+				need = 1
+			}
+			if need < count {
+				count = need
+			}
+		}
+		cfg.Groups = append([]TaskGroup{
+			{Type: Compress, Count: count, Placement: SplitAll()},
+		}, cfg.Groups...)
+	}
+	return cfg, nil
+}
+
+// defaultCompressGbpsPerThread is one core's LZ4 compression rate in
+// Gbps of uncompressed input (hw/calib.go's anchor: 8 threads sustain
+// the paper's 37 Gbps baseline).
+const defaultCompressGbpsPerThread = 4.624
+
+// GenerateOSBaseline rewrites every group of cfg to OS placement — the
+// §4.2 comparison baseline where "the OS determines the execution
+// locations for individual threads".
+func GenerateOSBaseline(cfg NodeConfig) NodeConfig {
+	out := cfg
+	out.Groups = make([]TaskGroup, len(cfg.Groups))
+	for i, g := range cfg.Groups {
+		g.Placement = OS()
+		out.Groups[i] = g
+	}
+	return out
+}

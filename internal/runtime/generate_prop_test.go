@@ -1,0 +1,153 @@
+package runtime
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the configuration generator: for every plausible
+// topology and option set, the generated configurations are valid,
+// placement-correct and bounded.
+
+func arbTopo(s, c, nic uint8) TopologyInfo {
+	sockets := int(s)%4 + 1
+	return TopologyInfo{
+		Sockets:        sockets,
+		CoresPerSocket: int(c)%64 + 1,
+		NICSocket:      int(nic) % sockets,
+	}
+}
+
+func TestPropertyReceiverConfigsAlwaysValid(t *testing.T) {
+	f := func(s, c, nic, streams uint8, compression bool) bool {
+		topo := arbTopo(s, c, nic)
+		cfg, err := GenerateReceiverConfig("gw", topo, GenerateOptions{
+			Streams:     int(streams) % 100,
+			Compression: compression,
+		})
+		if err != nil {
+			return false
+		}
+		if cfg.Validate(topo.Sockets) != nil {
+			return false
+		}
+		// Receive threads always pin to the NIC domain, one per core
+		// at most.
+		recv, ok := cfg.Group(Receive)
+		if !ok || recv.Count < 1 || recv.Count > topo.CoresPerSocket {
+			return false
+		}
+		if recv.Placement.Mode != Pinned || recv.Placement.Sockets[0] != topo.NICSocket {
+			return false
+		}
+		// Decompression, when present, avoids the NIC domain on
+		// multi-socket machines.
+		if dec, ok := cfg.Group(Decompress); ok {
+			if !compression {
+				return false
+			}
+			if topo.Sockets > 1 {
+				for _, s := range dec.Placement.Sockets {
+					if s == topo.NICSocket {
+						return false
+					}
+				}
+			}
+			if dec.Count < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySenderConfigsAlwaysValid(t *testing.T) {
+	f := func(s, c, nic, sendThreads uint8, compression bool, target uint16) bool {
+		topo := arbTopo(s, c, nic)
+		cfg, err := GenerateSenderConfig("src", topo, GenerateOptions{
+			Compression: compression,
+			SendThreads: int(sendThreads) % 20,
+			TargetGbps:  float64(target) / 10,
+		})
+		if err != nil {
+			return false
+		}
+		if cfg.Validate(topo.Sockets) != nil {
+			return false
+		}
+		if cfg.Count(Send) < 1 {
+			return false
+		}
+		comp := cfg.Count(Compress)
+		if compression {
+			// Bounded by the machine and at least one thread.
+			if comp < 1 || comp > topo.Sockets*topo.CoresPerSocket {
+				return false
+			}
+		} else if comp != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOSBaselinePreservesCounts(t *testing.T) {
+	f := func(s, c, nic, streams uint8) bool {
+		topo := arbTopo(s, c, nic)
+		cfg, err := GenerateReceiverConfig("gw", topo, GenerateOptions{
+			Streams: int(streams) % 20, Compression: true,
+		})
+		if err != nil {
+			return false
+		}
+		baseline := GenerateOSBaseline(cfg)
+		if len(baseline.Groups) != len(cfg.Groups) {
+			return false
+		}
+		for i, g := range baseline.Groups {
+			if g.Placement.Mode != OSDefault {
+				return false
+			}
+			if g.Count != cfg.Groups[i].Count || g.Type != cfg.Groups[i].Type {
+				return false
+			}
+		}
+		return baseline.Validate(topo.Sockets) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyAutotuneConverges: from any starting placement, at most
+// two rounds of autotuning reach a fixed point.
+func TestPropertyAutotuneConverges(t *testing.T) {
+	placements := []Placement{PinTo(0), OS(), SplitAll()}
+	f := func(s, c, nic, p1, p2 uint8) bool {
+		topo := arbTopo(s, c, nic)
+		cfg := NodeConfig{Node: "gw", Role: Receiver, Groups: []TaskGroup{
+			{Type: Receive, Count: 2, Placement: placements[int(p1)%len(placements)]},
+			{Type: Decompress, Count: 2, Placement: placements[int(p2)%len(placements)]},
+		}}
+		obs := []CoreObservation{{Core: 0, Socket: 0, Utilization: 1, RemoteFrac: 1}}
+		t1, _, err := Autotune(cfg, topo, obs)
+		if err != nil {
+			return false
+		}
+		t2, advice2, err := Autotune(t1, topo, obs)
+		if err != nil || len(advice2) != 0 {
+			return false
+		}
+		_, advice3, err := Autotune(t2, topo, obs)
+		return err == nil && len(advice3) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,555 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"numastream/internal/hw"
+	"numastream/internal/netsim"
+	"numastream/internal/sim"
+)
+
+// This file executes node configurations against the machine and network
+// models — the substrate for every experiment in §3/§4 (see DESIGN.md).
+// Each configured thread becomes a virtual worker homed on a model core;
+// all work is charged to shared hardware resources via hw.Machine.Exec,
+// so placement effects (remote access, uncore contention, core sharing)
+// emerge from the model rather than from per-experiment special cases.
+
+// Rates are per-core processing speeds for the four task classes, in
+// bytes/second (input side for compress/send/receive, output side for
+// decompress).
+type Rates struct {
+	Compress   float64
+	Decompress float64
+	SendProc   float64
+	RecvProc   float64
+}
+
+// DefaultRates returns the calibrated per-core speeds (hw/calib.go).
+func DefaultRates() Rates {
+	return Rates{
+		Compress:   hw.CompressRate,
+		Decompress: hw.DecompressRate,
+		SendProc:   hw.SendProcRate,
+		RecvProc:   hw.RecvProcRate,
+	}
+}
+
+// SimNode binds a machine model to its processing rates and the RNG used
+// for OS-default thread placement.
+type SimNode struct {
+	M     *hw.Machine
+	Rates Rates
+	RNG   *rand.Rand
+}
+
+// NewSimNode wraps a machine with default rates and a seeded RNG.
+func NewSimNode(m *hw.Machine, seed int64) *SimNode {
+	return &SimNode{M: m, Rates: DefaultRates(), RNG: rand.New(rand.NewSource(seed))}
+}
+
+// StreamSpec describes one stream's workload.
+type StreamSpec struct {
+	Name string
+	// Chunks to deliver end to end.
+	Chunks int
+	// ChunkBytes is the raw (uncompressed) chunk size.
+	ChunkBytes float64
+	// Ratio is the compression ratio applied by the compress stage
+	// (wire bytes = ChunkBytes/Ratio). Ignored without a compress
+	// group.
+	Ratio float64
+	// GenRate caps the source's raw-byte generation rate (0 =
+	// unlimited, i.e. data is already resident as in §3.2's dataset).
+	GenRate float64
+	// SourceSocket is the NUMA domain holding the source data on the
+	// sender (Table 1's "Memory Domain").
+	SourceSocket int
+	// QueueCap bounds the inter-stage queues (default 64 chunks).
+	QueueCap int
+	// Window is the per-send-thread limit on chunks in flight to the
+	// receiver before backpressure pauses the sender (default 4).
+	Window int
+	// WarmFrac is the fraction of chunks treated as pipeline warm-up
+	// and excluded from throughput (default 0.2).
+	WarmFrac float64
+}
+
+func (s *StreamSpec) normalize() error {
+	if s.Chunks < 5 {
+		return fmt.Errorf("runtime: stream %q needs at least 5 chunks", s.Name)
+	}
+	if s.ChunkBytes <= 0 {
+		return fmt.Errorf("runtime: stream %q has non-positive chunk size", s.Name)
+	}
+	if s.Ratio <= 0 {
+		s.Ratio = 1
+	}
+	if s.QueueCap <= 0 {
+		s.QueueCap = 64
+	}
+	if s.Window <= 0 {
+		s.Window = 4
+	}
+	if s.WarmFrac <= 0 || s.WarmFrac >= 0.9 {
+		s.WarmFrac = 0.2
+	}
+	return nil
+}
+
+// Stream is one sender→receiver pipeline instance plus its results.
+type Stream struct {
+	Spec        StreamSpec
+	Sender      *SimNode
+	SenderCfg   NodeConfig
+	Receiver    *SimNode
+	ReceiverCfg NodeConfig
+	Path        *netsim.Path
+
+	// Results, valid after Runner.Run.
+	Delivered     int
+	WarmTime      float64 // when the warm-up chunks had been delivered
+	FinishTime    float64
+	rawDelivered  float64
+	wireDelivered float64
+	warmRaw       float64
+	warmWire      float64
+
+	// queues, captured at build time for bottleneck analysis.
+	compQ, sendQ, rxQ, decQ *sim.Queue
+}
+
+// StageQueueStats is one inter-stage queue's occupancy profile.
+type StageQueueStats struct {
+	Stage     string // the consuming stage ("compress", "send", ...)
+	MaxDepth  int
+	Capacity  int
+	Puts      uint64
+	PutBlocks uint64 // producers that had to wait (backpressure events)
+}
+
+// QueueStats reports each inter-stage queue's high-water occupancy
+// after a run. A persistently full queue marks its consumer as the
+// pipeline's bottleneck — §4.1's "bottlenecks shift across different
+// segments" made observable.
+func (s *Stream) QueueStats() []StageQueueStats {
+	var out []StageQueueStats
+	add := func(stage string, q *sim.Queue) {
+		if q == nil {
+			return
+		}
+		out = append(out, StageQueueStats{
+			Stage:     stage,
+			MaxDepth:  q.MaxDepth(),
+			Capacity:  s.Spec.QueueCap,
+			Puts:      q.Puts(),
+			PutBlocks: q.PutBlocks(),
+		})
+	}
+	add("compress", s.compQ)
+	add("send", s.sendQ)
+	add("receive", s.rxQ)
+	add("decompress", s.decQ)
+	return out
+}
+
+// Bottleneck names the binding stage: a slow stage exerts sustained
+// backpressure on its input queue's producers, and that backpressure
+// propagates upstream, so the bottleneck is the *last* stage (in
+// pipeline order) whose input queue blocked a substantial share (a
+// quarter) of its puts. Startup transients (a burst filling a queue
+// once) stay below that bar. If no queue blocked persistently, the
+// deepest one wins.
+func (s *Stream) Bottleneck() string {
+	stats := s.QueueStats()
+	for i := len(stats) - 1; i >= 0; i-- {
+		if stats[i].Puts > 0 && stats[i].PutBlocks*4 >= stats[i].Puts {
+			return stats[i].Stage
+		}
+	}
+	best := ""
+	depth := -1
+	for _, qs := range stats {
+		if qs.MaxDepth > depth {
+			depth = qs.MaxDepth
+			best = qs.Stage
+		}
+	}
+	return best
+}
+
+// EndToEndBps returns the steady-state end-to-end (uncompressed) rate.
+func (s *Stream) EndToEndBps() float64 {
+	dt := s.FinishTime - s.WarmTime
+	if dt <= 0 {
+		return 0
+	}
+	return (s.rawDelivered - s.warmRaw) / dt
+}
+
+// NetworkBps returns the steady-state network (wire) rate.
+func (s *Stream) NetworkBps() float64 {
+	dt := s.FinishTime - s.WarmTime
+	if dt <= 0 {
+		return 0
+	}
+	return (s.wireDelivered - s.warmWire) / dt
+}
+
+// chunkState is a chunk descriptor moving through the virtual pipeline.
+type chunkState struct {
+	raw    float64 // uncompressed size
+	wire   float64 // current transfer size
+	socket int     // NUMA domain of current residence
+}
+
+// Runner executes a set of streams on one engine until all complete.
+type Runner struct {
+	Eng     *sim.Engine
+	Streams []*Stream
+}
+
+// Run builds all workers and drives the simulation to completion.
+func (r *Runner) Run() error {
+	for _, st := range r.Streams {
+		if err := st.Spec.normalize(); err != nil {
+			return err
+		}
+		if err := r.build(st); err != nil {
+			return err
+		}
+	}
+	r.Eng.Run()
+	for _, st := range r.Streams {
+		if st.Delivered != st.Spec.Chunks {
+			return fmt.Errorf("runtime: stream %q delivered %d/%d chunks (pipeline stalled)",
+				st.Spec.Name, st.Delivered, st.Spec.Chunks)
+		}
+	}
+	return nil
+}
+
+// PlaceGroup resolves a task group to home cores on the node's machine.
+// The boolean reports whether the threads are unpinned (OS placement).
+func PlaceGroup(n *SimNode, g TaskGroup) ([]*hw.Core, bool) {
+	cores := make([]*hw.Core, 0, g.Count)
+	switch g.Placement.Mode {
+	case Pinned:
+		for i := 0; i < g.Count; i++ {
+			cores = append(cores, n.M.AllocCore(g.Placement.Sockets))
+		}
+		return cores, false
+	case PinnedCores:
+		for i := 0; i < g.Count; i++ {
+			id := g.Placement.Cores[i%len(g.Placement.Cores)]
+			if id < 0 || id >= len(n.M.Cores) {
+				panic(fmt.Sprintf("runtime: placement core %d out of range", id))
+			}
+			c := n.M.Cores[id]
+			c.Threads++
+			cores = append(cores, c)
+		}
+		return cores, false
+	case Split:
+		// Even distribution across domains (Table 1's E/F): thread i
+		// lands on socket i mod N, least-loaded core within it.
+		for i := 0; i < g.Count; i++ {
+			cores = append(cores, n.M.AllocCore([]int{i % len(n.M.Sockets)}))
+		}
+		return cores, false
+	case OSDefault:
+		// The OS scheduler's placement. CFS load-balances CPU-bound
+		// threads (compression/decompression) nearly evenly across
+		// all cores — Fig 8 groups the OS configurations G/H with
+		// E/F — but does so NUMA-blind: the core order is a random
+		// permutation, so moderate thread counts land with a chance
+		// majority in one domain (Fig 9b's G/H). I/O-bound threads
+		// (send/receive) sleep and wake and get wake-time placement:
+		// a random core, possibly already occupied, which is how the
+		// §4.2 baseline loses receive capacity to collisions. Both
+		// classes pay the migration tax.
+		switch g.Type {
+		case Compress, Decompress:
+			perm := n.RNG.Perm(len(n.M.Cores))
+			for i := 0; i < g.Count; i++ {
+				c := n.M.Cores[perm[i%len(perm)]]
+				c.Threads++
+				cores = append(cores, c)
+			}
+		default:
+			for i := 0; i < g.Count; i++ {
+				c := n.M.Cores[n.RNG.Intn(len(n.M.Cores))]
+				c.Threads++
+				cores = append(cores, c)
+			}
+		}
+		return cores, true
+	default:
+		panic(fmt.Sprintf("runtime: unknown placement mode %q", g.Placement.Mode))
+	}
+}
+
+// build wires one stream's stages onto the engine.
+func (r *Runner) build(st *Stream) error {
+	eng := r.Eng
+	spec := st.Spec
+
+	if st.Path == nil {
+		return fmt.Errorf("runtime: stream %q has no network path", spec.Name)
+	}
+	nComp := st.SenderCfg.Count(Compress)
+	nSend := st.SenderCfg.Count(Send)
+	nRecv := st.ReceiverCfg.Count(Receive)
+	nDec := st.ReceiverCfg.Count(Decompress)
+	if nSend < 1 || nRecv < 1 {
+		return fmt.Errorf("runtime: stream %q needs send and receive threads", spec.Name)
+	}
+
+	sendQ := sim.NewQueue(eng, spec.QueueCap)
+	rxQ := sim.NewQueue(eng, spec.QueueCap)
+	var compQ, decQ *sim.Queue
+	if nComp > 0 {
+		compQ = sim.NewQueue(eng, spec.QueueCap)
+	}
+	if nDec > 0 {
+		decQ = sim.NewQueue(eng, spec.QueueCap)
+	}
+	st.compQ, st.sendQ, st.rxQ, st.decQ = compQ, sendQ, rxQ, decQ
+
+	// --- Source ---------------------------------------------------
+	srcOut := sendQ
+	if nComp > 0 {
+		srcOut = compQ
+	}
+	emitted := 0
+	var emit func()
+	emit = func() {
+		if emitted == spec.Chunks {
+			srcOut.Close()
+			return
+		}
+		emitted++
+		c := &chunkState{raw: spec.ChunkBytes, wire: spec.ChunkBytes, socket: spec.SourceSocket}
+		put := func() {
+			srcOut.Put(c, func(ok bool) {
+				if ok {
+					emit()
+				}
+			})
+		}
+		if spec.GenRate > 0 {
+			// Fixed-rate generation, as in §3.1's instrument
+			// emulation.
+			eng.After(spec.ChunkBytes/spec.GenRate, put)
+		} else {
+			put()
+		}
+	}
+	eng.After(0, emit)
+
+	// --- Sink -----------------------------------------------------
+	warmChunks := int(float64(spec.Chunks) * spec.WarmFrac)
+	if warmChunks < 1 {
+		warmChunks = 1
+	}
+	sink := func(c *chunkState) {
+		st.Delivered++
+		st.rawDelivered += c.raw
+		st.wireDelivered += c.wire
+		if st.Delivered == warmChunks {
+			st.WarmTime = eng.Now()
+			st.warmRaw = st.rawDelivered
+			st.warmWire = st.wireDelivered
+		}
+		if st.Delivered == spec.Chunks {
+			st.FinishTime = eng.Now()
+			rxQ.Close()
+			if decQ != nil {
+				decQ.Close()
+			}
+		}
+	}
+
+	// --- Compression workers --------------------------------------
+	if nComp > 0 {
+		g, _ := st.SenderCfg.Group(Compress)
+		cores, unpinned := PlaceGroup(st.Sender, g)
+		live := nComp
+		for _, core := range cores {
+			core := core
+			var loop func()
+			loop = func() {
+				compQ.Get(func(item any, ok bool) {
+					if !ok {
+						live--
+						if live == 0 {
+							sendQ.Close()
+						}
+						return
+					}
+					c := item.(*chunkState)
+					op := hw.Op{
+						Compute:       c.raw / st.Sender.Rates.Compress,
+						ReadBytes:     c.raw,
+						ReadSocket:    c.socket,
+						WriteBytes:    c.raw / spec.Ratio,
+						WriteSocket:   core.Socket,
+						Unpinned:      unpinned,
+						Prefetchable:  true, // sequential dataset scan
+						WriteAllocate: true, // bulk codec output
+						Label:         "compress",
+					}
+					done := st.Sender.M.Exec(eng.Now(), core, op)
+					eng.Schedule(done, func() {
+						c.wire = c.raw / spec.Ratio
+						c.socket = core.Socket
+						sendQ.Put(c, func(bool) { loop() })
+					})
+				})
+			}
+			eng.After(0, loop)
+		}
+	}
+
+	// --- Send workers ----------------------------------------------
+	{
+		g, _ := st.SenderCfg.Group(Send)
+		cores, unpinned := PlaceGroup(st.Sender, g)
+		for _, core := range cores {
+			core := core
+			inFlight := 0
+			waiting := false
+			var loop func()
+			loop = func() {
+				if inFlight >= spec.Window {
+					waiting = true
+					return
+				}
+				sendQ.Get(func(item any, ok bool) {
+					if !ok {
+						return
+					}
+					c := item.(*chunkState)
+					op := hw.Op{
+						Compute:    c.wire / st.Sender.Rates.SendProc,
+						ReadBytes:  c.wire,
+						ReadSocket: c.socket,
+						// Send is read-only: the NIC pulls
+						// from the buffer.
+						WriteBytes:   0,
+						WriteSocket:  core.Socket,
+						Unpinned:     unpinned,
+						Prefetchable: true, // sequential buffer read
+						Label:        "send",
+					}
+					done := st.Sender.M.Exec(eng.Now(), core, op)
+					eng.Schedule(done, func() {
+						inFlight++
+						st.Path.Send(eng.Now(), c.wire, func(arrival float64) {
+							c.socket = st.Path.DstSocket()
+							rxQ.Put(c, func(bool) {
+								inFlight--
+								if waiting {
+									waiting = false
+									loop()
+								}
+							})
+						})
+						loop()
+					})
+				})
+			}
+			eng.After(0, loop)
+		}
+	}
+
+	// --- Receive workers -------------------------------------------
+	{
+		g, ok := st.ReceiverCfg.Group(Receive)
+		if !ok {
+			return fmt.Errorf("runtime: stream %q receiver config lacks a receive group", spec.Name)
+		}
+		cores, unpinned := PlaceGroup(st.Receiver, g)
+		for _, core := range cores {
+			core := core
+			var loop func()
+			loop = func() {
+				rxQ.Get(func(item any, ok bool) {
+					if !ok {
+						return
+					}
+					c := item.(*chunkState)
+					compute := c.wire / st.Receiver.Rates.RecvProc
+					if unpinned {
+						// With OS placement, RSS/RPS flow-to-core
+						// steering is uncoordinated with where the
+						// thread runs (§2.2), so packet payloads
+						// typically sit in another core's cache
+						// domain: the receive path pays the
+						// remote-access stall regardless of socket.
+						compute *= 1 + st.Receiver.M.Cfg.RemotePenalty
+					}
+					op := hw.Op{
+						Compute:     compute,
+						ReadBytes:   c.wire,
+						ReadSocket:  c.socket, // the NIC's DMA domain
+						WriteBytes:  c.wire,
+						WriteSocket: core.Socket, // first-touch copy into app buffers
+						Unpinned:    unpinned,
+						Label:       "receive",
+					}
+					done := st.Receiver.M.Exec(eng.Now(), core, op)
+					eng.Schedule(done, func() {
+						c.socket = core.Socket
+						if decQ == nil {
+							sink(c)
+							loop()
+							return
+						}
+						decQ.Put(c, func(bool) { loop() })
+					})
+				})
+			}
+			eng.After(0, loop)
+		}
+	}
+
+	// --- Decompression workers --------------------------------------
+	if nDec > 0 {
+		g, _ := st.ReceiverCfg.Group(Decompress)
+		cores, unpinned := PlaceGroup(st.Receiver, g)
+		for _, core := range cores {
+			core := core
+			var loop func()
+			loop = func() {
+				decQ.Get(func(item any, ok bool) {
+					if !ok {
+						return
+					}
+					c := item.(*chunkState)
+					op := hw.Op{
+						Compute:       c.raw / st.Receiver.Rates.Decompress,
+						ReadBytes:     c.wire,
+						ReadSocket:    c.socket,
+						WriteBytes:    c.raw,
+						WriteSocket:   core.Socket,
+						Unpinned:      unpinned,
+						Prefetchable:  true, // sequential block decode
+						WriteAllocate: true, // bulk codec output
+						Label:         "decompress",
+					}
+					done := st.Receiver.M.Exec(eng.Now(), core, op)
+					eng.Schedule(done, func() {
+						c.socket = core.Socket
+						sink(c)
+						loop()
+					})
+				})
+			}
+			eng.After(0, loop)
+		}
+	}
+
+	return nil
+}

@@ -1,0 +1,46 @@
+package runtime
+
+import (
+	"testing"
+
+	"numastream/internal/trace"
+)
+
+// TestSimulatedOpsAreTraced checks that attaching a tracer to a machine
+// records every pipeline stage on the right (machine, core) tracks.
+func TestSimulatedOpsAreTraced(t *testing.T) {
+	tb := newTestbed(100)
+	tracer := trace.New(0)
+	tb.receiver.M.Tracer = tracer
+
+	tb.run(t, defaultSpec(20),
+		senderCfg(4, 2, SplitAll(), SplitAll()),
+		receiverCfg(2, 4, PinTo(1), PinTo(0)))
+
+	if tracer.Len() == 0 {
+		t.Fatal("no events traced")
+	}
+	byCat := map[string]int{}
+	for _, e := range tracer.Events() {
+		byCat[e.Category]++
+		if e.Process != "lynxdtn" {
+			t.Fatalf("event on machine %q, tracer was attached to lynxdtn", e.Process)
+		}
+		if e.Duration < 0 {
+			t.Fatalf("negative duration event: %+v", e)
+		}
+	}
+	// 20 chunks each through receive and decompress.
+	if byCat["receive"] != 20 || byCat["decompress"] != 20 {
+		t.Fatalf("events per category = %v, want 20 receive + 20 decompress", byCat)
+	}
+	// Receive events sit on NUMA-1 cores (16..31), decompress on 0..15.
+	for _, e := range tracer.Events() {
+		if e.Category == "receive" && e.Track < 16 {
+			t.Fatalf("receive event on core %d, pinned to NUMA 1", e.Track)
+		}
+		if e.Category == "decompress" && e.Track >= 16 {
+			t.Fatalf("decompress event on core %d, pinned to NUMA 0", e.Track)
+		}
+	}
+}

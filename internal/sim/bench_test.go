@@ -1,0 +1,48 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%97), func() {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkEngineNestedEvents(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+}
+
+func BenchmarkServerAcquire(b *testing.B) {
+	s := NewServer("core", 1e9)
+	now := 0.0
+	for i := 0; i < b.N; i++ {
+		now = s.Acquire(now, 100)
+	}
+}
+
+func BenchmarkQueuePutGet(b *testing.B) {
+	e := NewEngine()
+	q := NewQueue(e, 64)
+	for i := 0; i < b.N; i++ {
+		q.Put(i, nil)
+		q.Get(func(any, bool) {})
+		if i%1024 == 0 {
+			e.Run() // drain scheduled callbacks
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,23 @@
+package tomo
+
+import "testing"
+
+func BenchmarkProjectionQuarterScale(b *testing.B) {
+	p := RandomPhantom(1, 60)
+	cfg := DefaultProjectionConfig()
+	cfg.Width /= 4
+	cfg.Height /= 4
+	b.SetBytes(int64(cfg.Width * cfg.Height * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Projection(p, float64(i)*0.01, cfg)
+	}
+}
+
+func BenchmarkSinogramRow(b *testing.B) {
+	p := RandomPhantom(2, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SinogramRow(p, float64(i)*0.01, 0, 1920)
+	}
+}

@@ -1,0 +1,138 @@
+package tomo
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func calCfg() ProjectionConfig {
+	return ProjectionConfig{Width: 64, Height: 32, NoiseSigma: 2, QuantStep: 1, Scale: 20000, Seed: 5}
+}
+
+func frameStats(frame []byte) (mean, max float64) {
+	n := len(frame) / 2
+	for i := 0; i < n; i++ {
+		v := float64(binary.LittleEndian.Uint16(frame[i*2:]))
+		mean += v
+		if v > max {
+			max = v
+		}
+	}
+	return mean / float64(n), max
+}
+
+func TestDarkFrameNearOffset(t *testing.T) {
+	cfg := calCfg()
+	dark := DarkFrame(cfg, 100)
+	mean, max := frameStats(dark)
+	if math.Abs(mean-100) > 2 {
+		t.Fatalf("dark mean = %v, want ~100", mean)
+	}
+	if max > 120 {
+		t.Fatalf("dark max = %v, readout noise too large", max)
+	}
+}
+
+func TestFlatFrameBeamProfile(t *testing.T) {
+	cfg := calCfg()
+	cfg.NoiseSigma = 0
+	flat := FlatFrame(cfg, 10000)
+	at := func(u int) float64 {
+		return float64(binary.LittleEndian.Uint16(flat[(cfg.Width*cfg.Height/2+u)*2:]))
+	}
+	center := at(cfg.Width / 2)
+	edge := at(0)
+	if center <= edge {
+		t.Fatalf("beam center (%v) not brighter than edge (%v)", center, edge)
+	}
+	if math.Abs(center-10000) > 100 {
+		t.Fatalf("center intensity = %v, want ~10000", center)
+	}
+	if edge < 8000 {
+		t.Fatalf("edge intensity = %v, profile too steep", edge)
+	}
+}
+
+func TestNormalizeRecoversTransmission(t *testing.T) {
+	cfg := calCfg()
+	cfg.NoiseSigma = 0
+	p := &Phantom{Spheres: []Sphere{{R: 0.4, Density: 1}}}
+
+	dark := DarkFrame(cfg, 100)
+	flat := FlatFrame(cfg, 10000)
+	// A raw absorption frame also carries the dark offset.
+	proj := AbsorptionProjection(p, 0, cfg, 9900)
+	// Add the dark offset to the projection to mimic the detector.
+	raw := make([]byte, len(proj))
+	for i := 0; i < len(proj); i += 2 {
+		v := binary.LittleEndian.Uint16(proj[i:]) + 100
+		binary.LittleEndian.PutUint16(raw[i:], v)
+	}
+
+	norm, err := Normalize(raw, dark, flat, cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	// Background (no sample in the path): transmission ~1.
+	bg := norm[0] // corner: outside the sphere's shadow
+	if math.Abs(bg-0.99) > 0.05 {
+		t.Fatalf("background transmission = %v, want ~0.99 (9900/10000)", bg)
+	}
+	// Through the sphere center: transmission exp(-0.8) ≈ 0.45 of bg.
+	center := norm[(cfg.Height/2)*cfg.Width+cfg.Width/2]
+	want := 0.99 * math.Exp(-2*0.4)
+	if math.Abs(center-want) > 0.05 {
+		t.Fatalf("center transmission = %v, want ~%v", center, want)
+	}
+	if center >= bg {
+		t.Fatal("sample did not attenuate the beam")
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	if _, err := Normalize(make([]byte, 10), make([]byte, 10), make([]byte, 10), 4, 4); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}
+
+func TestNormalizeDeadPixels(t *testing.T) {
+	// flat == dark marks a dead pixel: transmission 0, no division blowup.
+	w, h := 2, 1
+	frame := func(vals ...uint16) []byte {
+		out := make([]byte, len(vals)*2)
+		for i, v := range vals {
+			binary.LittleEndian.PutUint16(out[i*2:], v)
+		}
+		return out
+	}
+	norm, err := Normalize(frame(500, 500), frame(100, 500), frame(1100, 500), w, h)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if math.Abs(norm[0]-0.4) > 1e-9 {
+		t.Fatalf("pixel 0 = %v, want 0.4", norm[0])
+	}
+	if norm[1] != 0 {
+		t.Fatalf("dead pixel = %v, want 0", norm[1])
+	}
+}
+
+func TestAbsorptionProjectionAttenuates(t *testing.T) {
+	cfg := calCfg()
+	cfg.NoiseSigma = 0
+	p := &Phantom{Spheres: []Sphere{{R: 0.4, Density: 1.5}}}
+	frame := AbsorptionProjection(p, 0.5, cfg, 10000)
+	at := func(u, v int) float64 {
+		return float64(binary.LittleEndian.Uint16(frame[(v*cfg.Width+u)*2:]))
+	}
+	corner := at(0, 0)
+	center := at(cfg.Width/2, cfg.Height/2)
+	if center >= corner {
+		t.Fatalf("center (%v) not attenuated below corner (%v)", center, corner)
+	}
+	// Attenuation magnitude: exp(-1.2) ≈ 0.30.
+	if ratio := center / at(cfg.Width/2, 0); ratio > 0.45 || ratio < 0.2 {
+		t.Fatalf("attenuation ratio = %v, want ~0.30", ratio)
+	}
+}

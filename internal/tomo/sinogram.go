@@ -1,0 +1,45 @@
+package tomo
+
+import "math"
+
+// SinogramRow returns the noiseless line integrals through the phantom
+// at rotation angle theta for the detector row at height v (normalized,
+// [-1,1]), sampled at `width` positions across u ∈ [-1,1]. This is the
+// analysis-side view of one projection row, used by the reconstruction
+// package; Projection applies the same geometry plus detector effects.
+func SinogramRow(p *Phantom, theta, v float64, width int) []float64 {
+	sin, cos := math.Sin(theta), math.Cos(theta)
+	du := 2.0 / float64(width)
+	row := make([]float64, width)
+	for _, s := range p.Spheres {
+		cu := -s.X*sin + s.Y*cos
+		dz := v - s.Z
+		dz2 := dz * dz
+		r2 := s.R * s.R
+		if dz2 >= r2 {
+			continue
+		}
+		for ui := 0; ui < width; ui++ {
+			u := float64(ui)*du - 1 + du/2
+			dd := (u-cu)*(u-cu) + dz2
+			if dd < r2 {
+				row[ui] += 2 * math.Sqrt(r2-dd) * s.Density
+			}
+		}
+	}
+	return row
+}
+
+// DensityAt returns the phantom's density at a point in normalized
+// object coordinates — the ground truth a reconstruction is compared
+// against.
+func (p *Phantom) DensityAt(x, y, z float64) float64 {
+	var d float64
+	for _, s := range p.Spheres {
+		dx, dy, dz := x-s.X, y-s.Y, z-s.Z
+		if dx*dx+dy*dy+dz*dz < s.R*s.R {
+			d += s.Density
+		}
+	}
+	return d
+}

@@ -1,0 +1,74 @@
+package tomo
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+func TestSinogramRowMatchesProjectionRow(t *testing.T) {
+	// The noiseless, unquantized sinogram row must agree with the
+	// corresponding detector row of a noiseless Projection (up to the
+	// projection's integer quantization).
+	p := RandomPhantom(11, 15)
+	cfg := ProjectionConfig{Width: 128, Height: 64, NoiseSigma: 0, QuantStep: 1, Scale: 1000}
+	theta := 0.8
+	frame := Projection(p, theta, cfg)
+
+	vi := 40
+	v := float64(vi)*(2.0/float64(cfg.Height)) - 1 + 1.0/float64(cfg.Height)
+	row := SinogramRow(p, theta, v, cfg.Width)
+	for ui := 0; ui < cfg.Width; ui++ {
+		got := float64(binary.LittleEndian.Uint16(frame[(vi*cfg.Width+ui)*2:]))
+		want := row[ui] * cfg.Scale
+		if want > 65535 {
+			want = 65535
+		}
+		if math.Abs(got-want) > 1 { // quantization rounding
+			t.Fatalf("u=%d: projection %v vs sinogram %v", ui, got, want)
+		}
+	}
+}
+
+func TestSinogramRowOutsideSlice(t *testing.T) {
+	p := &Phantom{Spheres: []Sphere{{Z: 0, R: 0.2, Density: 1}}}
+	row := SinogramRow(p, 0, 0.9, 64) // far above the sphere
+	for _, v := range row {
+		if v != 0 {
+			t.Fatal("sphere contributed outside its extent")
+		}
+	}
+}
+
+func TestSinogramRowMaxChord(t *testing.T) {
+	s := Sphere{R: 0.5, Density: 2}
+	p := &Phantom{Spheres: []Sphere{s}}
+	row := SinogramRow(p, 0, 0, 129) // odd width: a sample near u=0
+	max := 0.0
+	for _, v := range row {
+		if v > max {
+			max = v
+		}
+	}
+	want := 2 * s.R * s.Density
+	if math.Abs(max-want) > want*0.02 {
+		t.Fatalf("max chord = %v, want ~%v", max, want)
+	}
+}
+
+func TestDensityAt(t *testing.T) {
+	p := &Phantom{Spheres: []Sphere{
+		{X: 0, Y: 0, Z: 0, R: 0.3, Density: 1},
+		{X: 0.1, Y: 0, Z: 0, R: 0.3, Density: 0.5},
+	}}
+	if d := p.DensityAt(0.05, 0, 0); math.Abs(d-1.5) > 1e-12 {
+		t.Fatalf("overlap density = %v, want 1.5", d)
+	}
+	if d := p.DensityAt(0.9, 0.9, 0.9); d != 0 {
+		t.Fatalf("background density = %v, want 0", d)
+	}
+	if d := p.DensityAt(0.25, 0, 0); math.Abs(d-1.5) > 1e-12 {
+		// inside both spheres (0.25 < 0.3 and |0.25-0.1| < 0.3)
+		t.Fatalf("density = %v, want 1.5", d)
+	}
+}

@@ -1,0 +1,122 @@
+// Package trace records simulator activity as Chrome trace-event JSON
+// (load the output at chrome://tracing or ui.perfetto.dev). Machines
+// opt in by attaching a Tracer; every executed pipeline operation then
+// becomes a duration event on its (machine, core) track, which makes
+// placement pathologies — idle domains, oversubscribed cores, remote
+// stalls — directly visible.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one Chrome trace duration event ("ph":"X").
+type Event struct {
+	Name     string  // operation label, e.g. "decompress"
+	Category string  // task class
+	Start    float64 // virtual seconds
+	Duration float64 // virtual seconds
+	Process  string  // machine name
+	Track    int     // core id
+	Args     map[string]any
+}
+
+// Tracer accumulates events. Safe for concurrent use (real-mode
+// pipelines share it across workers; the simulator is single-threaded
+// but pays the lock only when tracing is on).
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+}
+
+// New returns a tracer holding at most limit events (0 = unlimited).
+// The limit guards long simulations against unbounded memory.
+func New(limit int) *Tracer {
+	return &Tracer{limit: limit}
+}
+
+// Add records an event. Events beyond the limit are dropped.
+func (t *Tracer) Add(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a snapshot sorted by start time.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// chromeEvent is the wire format of the trace-event spec.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  string         `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON writes the events as a Chrome trace (JSON array form).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	events := t.Events()
+	out := make([]chromeEvent, len(events))
+	for i, e := range events {
+		out[i] = chromeEvent{
+			Name: e.Name,
+			Cat:  e.Category,
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  e.Duration * 1e6,
+			Pid:  e.Process,
+			Tid:  e.Track,
+			Args: e.Args,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary aggregates per-(process, category) busy time — a quick text
+// alternative to loading the JSON.
+func (t *Tracer) Summary() string {
+	busy := map[string]float64{}
+	count := map[string]int{}
+	for _, e := range t.Events() {
+		k := e.Process + "/" + e.Category
+		busy[k] += e.Duration
+		count[k]++
+	}
+	keys := make([]string, 0, len(busy))
+	for k := range busy {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%-32s %8d ops %10.3fs busy\n", k, count[k], busy[k])
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEventsSorted(t *testing.T) {
+	tr := New(0)
+	tr.Add(Event{Name: "b", Start: 2, Duration: 1})
+	tr.Add(Event{Name: "a", Start: 1, Duration: 1})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	ev := tr.Events()
+	if ev[0].Name != "a" || ev[1].Name != "b" {
+		t.Fatalf("events not sorted by start: %+v", ev)
+	}
+}
+
+func TestLimitDropsExcess(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Add(Event{Name: "e", Start: float64(i)})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (limited)", tr.Len())
+	}
+}
+
+func TestWriteJSONIsValidChromeTrace(t *testing.T) {
+	tr := New(0)
+	tr.Add(Event{
+		Name: "decompress", Category: "decompress",
+		Start: 0.001, Duration: 0.0005,
+		Process: "lynxdtn", Track: 17,
+		Args: map[string]any{"remote": true},
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("events = %d", len(events))
+	}
+	e := events[0]
+	if e["ph"] != "X" || e["name"] != "decompress" || e["pid"] != "lynxdtn" {
+		t.Fatalf("event = %v", e)
+	}
+	if e["ts"].(float64) != 1000 { // 0.001s in µs
+		t.Fatalf("ts = %v, want 1000", e["ts"])
+	}
+	if e["dur"].(float64) != 500 {
+		t.Fatalf("dur = %v, want 500", e["dur"])
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	tr := New(0)
+	tr.Add(Event{Category: "receive", Process: "gw", Duration: 1})
+	tr.Add(Event{Category: "receive", Process: "gw", Duration: 2})
+	tr.Add(Event{Category: "send", Process: "src", Duration: 5})
+	s := tr.Summary()
+	if !strings.Contains(s, "gw/receive") || !strings.Contains(s, "3.000s") {
+		t.Fatalf("Summary:\n%s", s)
+	}
+	if !strings.Contains(s, "src/send") {
+		t.Fatalf("Summary missing src/send:\n%s", s)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	tr := New(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Add(Event{Name: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", tr.Len())
+	}
+}

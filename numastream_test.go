@@ -1,0 +1,130 @@
+package numastream_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"numastream"
+)
+
+// The facade must expose a workable end-to-end API: generate configs
+// from topology knowledge, run a receiver and a sender over loopback,
+// and deliver every chunk intact.
+func TestFacadeEndToEnd(t *testing.T) {
+	const chunks = 16
+	const chunkSize = 32 << 10
+
+	host := numastream.SyntheticTopology(2, 2)
+	gen := numastream.TopologyInfo{Sockets: 2, CoresPerSocket: 2, NICSocket: 1}
+
+	rcvCfg, err := numastream.GenerateReceiverConfig("gw", gen,
+		numastream.GenerateOptions{Streams: 1, Compression: true, SendThreads: 2})
+	if err != nil {
+		t.Fatalf("GenerateReceiverConfig: %v", err)
+	}
+	sndCfg, err := numastream.GenerateSenderConfig("src", gen,
+		numastream.GenerateOptions{Streams: 1, Compression: true, SendThreads: 2})
+	if err != nil {
+		t.Fatalf("GenerateSenderConfig: %v", err)
+	}
+
+	// The generated receiver config follows the paper's rules.
+	recv, ok := rcvCfg.Group(numastream.Receive)
+	if !ok || recv.Placement.Sockets[0] != 1 {
+		t.Fatalf("receive group = %+v, want pinned to NIC domain", recv)
+	}
+
+	ready := make(chan string, 1)
+	var mu sync.Mutex
+	var got [][]byte
+	recvDone := make(chan error, 1)
+	go func() {
+		recvDone <- numastream.StartReceiver(numastream.ReceiverOptions{
+			Cfg: rcvCfg, Topo: host, Bind: "127.0.0.1:0",
+			Expect: chunks, Ready: ready,
+			Sink: func(c numastream.Chunk) error {
+				mu.Lock()
+				defer mu.Unlock()
+				data := make([]byte, len(c.Data))
+				copy(data, c.Data)
+				got = append(got, data)
+				return nil
+			},
+		})
+	}()
+
+	addr := <-ready
+	sent := 0
+	reg := numastream.NewRegistry()
+	err = numastream.StartSender(numastream.SenderOptions{
+		Cfg: sndCfg, Topo: host, Peers: []string{addr}, Metrics: reg,
+		Source: func() []byte {
+			if sent >= chunks {
+				return nil
+			}
+			chunk := bytes.Repeat([]byte(fmt.Sprintf("%06d|", sent)), chunkSize/7+1)[:chunkSize]
+			sent++
+			return chunk
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartSender: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("StartReceiver: %v", err)
+	}
+	if len(got) != chunks {
+		t.Fatalf("delivered %d chunks, want %d", len(got), chunks)
+	}
+	for _, c := range got {
+		if len(c) != chunkSize {
+			t.Fatalf("chunk of %d bytes, want %d", len(c), chunkSize)
+		}
+	}
+	// Compression actually happened on the wire.
+	for _, s := range reg.Snapshots() {
+		if s.Name == "send" && s.Bytes >= int64(chunks*chunkSize) {
+			t.Fatalf("wire bytes %d not compressed below raw %d", s.Bytes, chunks*chunkSize)
+		}
+	}
+}
+
+func TestFacadeConfigRoundTrip(t *testing.T) {
+	cfg := numastream.NodeConfig{
+		Node: "n", Role: numastream.Receiver,
+		Groups: []numastream.TaskGroup{
+			{Type: numastream.Receive, Count: 2, Placement: numastream.PinTo(1)},
+			{Type: numastream.Decompress, Count: 2, Placement: numastream.SplitAll()},
+		},
+	}
+	data, err := numastream.EncodeConfig(cfg)
+	if err != nil {
+		t.Fatalf("EncodeConfig: %v", err)
+	}
+	back, err := numastream.DecodeConfig(data)
+	if err != nil {
+		t.Fatalf("DecodeConfig: %v", err)
+	}
+	if back.Node != "n" || back.Count(numastream.Receive) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	osCfg := numastream.GenerateOSBaseline(cfg)
+	for _, g := range osCfg.Groups {
+		if g.Placement.Mode != "os" {
+			t.Fatalf("OS baseline group %+v", g)
+		}
+	}
+}
+
+func TestFacadeTopologyHelpers(t *testing.T) {
+	host, _ := numastream.DiscoverTopology()
+	if host.NumCPUs() < 1 {
+		t.Fatal("DiscoverTopology returned no CPUs")
+	}
+	syn := numastream.SyntheticTopology(2, 8)
+	if len(syn.Nodes) != 2 || syn.NumCPUs() != 16 {
+		t.Fatalf("SyntheticTopology = %+v", syn)
+	}
+}
