@@ -1,0 +1,25 @@
+# Standard developer targets. CI runs `make check`.
+
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrent transport/pipeline paths
+# (reconnect, send horizons, quarantine accounting, queues).
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/faults/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -36,6 +36,8 @@ func main() {
 	rssStreams := flag.Int("rss", 0, "run the RSS steering study with this many streams (extension)")
 	real := flag.Bool("real", false, "run the real-execution loopback sweep on this machine")
 	dualNIC := flag.Bool("dual-nic", false, "run the dual-NIC gateway study (extension)")
+	degraded := flag.Bool("degraded", false, "run the degraded-mode link fault simulation (robustness)")
+	degradedReal := flag.Bool("degraded-real", false, "run the real-mode fault injection loopback (robustness)")
 	flag.Var(&figs, "fig", "figure to regenerate (5,6,7,8,9,11,12,14 or all); repeatable")
 	flag.Parse()
 
@@ -164,6 +166,24 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatDualNIC(res))
+	}
+	if *degraded {
+		res, err := experiments.DegradedSim()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatDegradedSim(res))
+	}
+	if *degradedReal {
+		chunks, chunkBytes := 64, 512<<10
+		if *quick {
+			chunks, chunkBytes = 32, 128<<10
+		}
+		res, err := experiments.DegradedLoopback(chunks, chunkBytes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatDegradedReal(res))
 	}
 	if *rssStreams > 0 {
 		res, err := experiments.RSSStudy(*rssStreams)

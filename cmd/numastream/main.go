@@ -19,7 +19,9 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
+	"numastream/internal/faults"
 	"numastream/internal/metrics"
 	"numastream/internal/numa"
 	"numastream/internal/pipeline"
@@ -38,6 +40,21 @@ func main() {
 		synthetic  = flag.Bool("synthetic", false, "use patterned chunks instead of tomography projections")
 		serve      = flag.Bool("serve", false, "receiver: serve until interrupted instead of expecting -chunks")
 		tracePath  = flag.String("trace", "", "write a Chrome trace of this node's workers to the file")
+
+		// Robustness (sender).
+		sendHorizon  = flag.Duration("send-horizon", 0, "sender: fail sends after all peers stay dead this long (0 = wait forever)")
+		writeTimeout = flag.Duration("write-timeout", 0, "sender: per-message write deadline (0 = none)")
+
+		// Robustness (receiver).
+		failHard     = flag.Bool("fail-hard", false, "receiver: abort on the first malformed or corrupt chunk instead of quarantining")
+		maxBadChunks = flag.Int("max-bad-chunks", 0, "receiver: abort after more than this many quarantined chunks (0 = no limit)")
+
+		// Fault injection (sender transport; for drills and tests).
+		faultSeed         = flag.Int64("fault-seed", 1, "fault plan RNG seed")
+		faultResetBytes   = flag.Int64("fault-reset-bytes", 0, "inject a connection reset after this many sent bytes (0 = off)")
+		faultStallBytes   = flag.Int64("fault-stall-bytes", 0, "inject a write stall after this many sent bytes (0 = off)")
+		faultStall        = flag.Duration("fault-stall", time.Second, "duration of the injected stall")
+		faultCorruptBytes = flag.Int64("fault-corrupt-bytes", 0, "flip one payload bit after this many sent bytes (0 = off)")
 	)
 	flag.Parse()
 
@@ -70,22 +87,41 @@ func main() {
 			fmt.Fprintln(os.Stderr, "numastream: sender needs -peers")
 			os.Exit(2)
 		}
-		err = pipeline.RunSender(pipeline.SenderOptions{
-			Cfg:     cfg,
-			Topo:    topo,
-			Peers:   strings.Split(*peers, ","),
-			Source:  newSource(*chunks, *scale, *synthetic),
-			Metrics: reg,
-			Tracer:  tracer,
-		})
+		sOpts := pipeline.SenderOptions{
+			Cfg:          cfg,
+			Topo:         topo,
+			Peers:        strings.Split(*peers, ","),
+			Source:       newSource(*chunks, *scale, *synthetic),
+			Metrics:      reg,
+			Tracer:       tracer,
+			SendHorizon:  *sendHorizon,
+			WriteTimeout: *writeTimeout,
+		}
+		var plan faults.Plan
+		plan.Seed = *faultSeed
+		if *faultResetBytes > 0 {
+			plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Reset, AfterBytes: *faultResetBytes})
+		}
+		if *faultStallBytes > 0 {
+			plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Stall, AfterBytes: *faultStallBytes, Stall: *faultStall})
+		}
+		if *faultCorruptBytes > 0 {
+			plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Corrupt, AfterBytes: *faultCorruptBytes, Bit: -1})
+		}
+		if len(plan.Faults) > 0 {
+			sOpts.Dial = faults.NewInjector(plan).Dialer(nil)
+		}
+		err = pipeline.RunSender(sOpts)
 	case runtime.Receiver:
 		opts := pipeline.ReceiverOptions{
-			Cfg:     cfg,
-			Topo:    topo,
-			Bind:    *bind,
-			Expect:  *chunks,
-			Metrics: reg,
-			Tracer:  tracer,
+			Cfg:          cfg,
+			Topo:         topo,
+			Bind:         *bind,
+			Expect:       *chunks,
+			Metrics:      reg,
+			Tracer:       tracer,
+			FailHard:     *failHard,
+			MaxBadChunks: *maxBadChunks,
 		}
 		if *serve {
 			// Serve until SIGINT/SIGTERM.

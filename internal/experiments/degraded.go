@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"numastream/internal/faults"
+	"numastream/internal/hw"
+	"numastream/internal/metrics"
+	"numastream/internal/msgq"
+	"numastream/internal/netsim"
+	"numastream/internal/pipeline"
+	"numastream/internal/runtime"
+	"numastream/internal/sim"
+
+	hostnuma "numastream/internal/numa"
+)
+
+// Degraded-mode harnesses: the robustness counterpart of Figure 12.
+// Where the figure harnesses measure throughput on a healthy path, these
+// deliberately break the path mid-stream — a link outage and a capacity
+// sag in the simulator, a connection reset plus a corrupted chunk on the
+// real loopback pipeline — and report the dip-and-recovery curve and the
+// exact failure accounting.
+
+// DegradedBuckets is the number of time buckets in the throughput curve.
+const DegradedBuckets = 24
+
+// DegradedSimResult is one simulated degraded-mode run.
+type DegradedSimResult struct {
+	Schedule   faults.LinkSchedule
+	BaseFinish float64   // healthy finish time (schedule derived from it)
+	Finish     float64   // faulted finish time
+	FaultDelay float64   // extra link service time the faults inflicted
+	BucketSecs float64   // width of each throughput bucket
+	Gbps       []float64 // raw-delivery throughput per bucket
+}
+
+// DegradedSim runs a single updraft→lynxdtn stream twice: once healthy
+// to learn the finish time, then with a link fault schedule derived from
+// it — a hard outage through [30%, 40%) of the healthy run and a
+// 5%-capacity sag from 60% onward (5 Gbps, well under the stream's wire
+// rate, so the tail genuinely crawls). The returned curve shows
+// throughput collapsing to zero, the post-outage catch-up burst as
+// queued chunks drain, and the sag stretching the finish. The
+// simulation is fully deterministic: the same schedule replays
+// byte-for-byte.
+func DegradedSim() (DegradedSimResult, error) {
+	base, err := runDegradedCell(nil, nil)
+	if err != nil {
+		return DegradedSimResult{}, err
+	}
+	t := base.FinishTime
+	sched := faults.LinkSchedule{
+		{Start: 0.30 * t, End: 0.40 * t, Capacity: 0},
+		{Start: 0.60 * t, End: 3 * t, Capacity: 0.05},
+	}
+	res, err := DegradedSimWithSchedule(sched)
+	if err != nil {
+		return DegradedSimResult{}, err
+	}
+	res.BaseFinish = t
+	return res, nil
+}
+
+// DegradedSimWithSchedule runs the faulted stream under an explicit link
+// fault schedule.
+func DegradedSimWithSchedule(sched faults.LinkSchedule) (DegradedSimResult, error) {
+	type arrival struct{ t, raw float64 }
+	var arrivals []arrival
+	st, err := runDegradedCell(sched, func(t, raw, wire float64) {
+		arrivals = append(arrivals, arrival{t, raw})
+	})
+	if err != nil {
+		return DegradedSimResult{}, err
+	}
+	res := DegradedSimResult{
+		Schedule:   sched,
+		Finish:     st.FinishTime,
+		FaultDelay: st.Path.Link().FaultDelay(),
+		Gbps:       make([]float64, DegradedBuckets),
+	}
+	res.BucketSecs = st.FinishTime / DegradedBuckets
+	if res.BucketSecs <= 0 {
+		return res, nil
+	}
+	for _, a := range arrivals {
+		b := int(a.t / res.BucketSecs)
+		if b >= DegradedBuckets {
+			b = DegradedBuckets - 1
+		}
+		res.Gbps[b] += a.raw
+	}
+	for i := range res.Gbps {
+		res.Gbps[i] = hw.Gbps(res.Gbps[i] / res.BucketSecs)
+	}
+	return res, nil
+}
+
+func runDegradedCell(sched faults.LinkSchedule, onDeliver func(t, raw, wire float64)) (*runtime.Stream, error) {
+	eng := sim.NewEngine()
+	snd := runtime.NewSimNode(hw.NewUpdraft(eng, "updraft1"), 21)
+	rcv := runtime.NewSimNode(hw.NewLynxdtn(eng), 22)
+	link := netsim.NewLink(eng, "aps", hw.BytesPerSec(100), 0.45e-3)
+	if sched != nil {
+		if err := link.SetFaults(sched); err != nil {
+			return nil, err
+		}
+	}
+	path := netsim.NewPath(eng, snd.M, hw.DataNIC(snd.M), link, rcv.M, hw.DataNIC(rcv.M))
+
+	st := &runtime.Stream{
+		Spec: runtime.StreamSpec{
+			Name:       "degraded",
+			Chunks:     400,
+			ChunkBytes: ChunkBytes,
+			Ratio:      hw.CompressionRatio,
+		},
+		Sender: snd,
+		SenderCfg: runtime.NodeConfig{
+			Node: "updraft1", Role: runtime.Sender,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Compress, Count: 8, Placement: runtime.SplitAll()},
+				{Type: runtime.Send, Count: 4, Placement: runtime.SplitAll()},
+			},
+		},
+		Receiver: rcv,
+		ReceiverCfg: runtime.NodeConfig{
+			Node: "lynxdtn", Role: runtime.Receiver,
+			Groups: []runtime.TaskGroup{
+				{Type: runtime.Receive, Count: 4, Placement: runtime.PinTo(0)},
+				{Type: runtime.Decompress, Count: 8, Placement: runtime.PinTo(1)},
+			},
+		},
+		Path:      path,
+		OnDeliver: onDeliver,
+	}
+	if err := (&runtime.Runner{Eng: eng, Streams: []*runtime.Stream{st}}).Run(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// FormatDegradedSim renders the simulated dip-and-recovery curve.
+func FormatDegradedSim(r DegradedSimResult) string {
+	out := "Degraded-mode link simulation (updraft1 -> lynxdtn, 100 Gbps)\n"
+	for _, w := range r.Schedule {
+		kind := "degraded"
+		if w.Capacity <= 0 {
+			kind = "outage"
+		}
+		out += fmt.Sprintf("  fault: %-8s [%8.4fs, %8.4fs) capacity %3.0f%%\n",
+			kind, w.Start, w.End, w.Capacity*100)
+	}
+	if r.BaseFinish > 0 {
+		out += fmt.Sprintf("  healthy finish %.4fs, faulted finish %.4fs (+%.1f%%), fault delay %.4fs\n",
+			r.BaseFinish, r.Finish, 100*(r.Finish-r.BaseFinish)/r.BaseFinish, r.FaultDelay)
+	} else {
+		out += fmt.Sprintf("  faulted finish %.4fs, fault delay %.4fs\n", r.Finish, r.FaultDelay)
+	}
+	out += fmt.Sprintf("%10s %10s  throughput (raw Gbps)\n", "t (s)", "Gbps")
+	max := 0.0
+	for _, g := range r.Gbps {
+		if g > max {
+			max = g
+		}
+	}
+	for i, g := range r.Gbps {
+		bar := ""
+		if max > 0 {
+			bar = barOf(g / max)
+		}
+		out += fmt.Sprintf("%10.4f %10.2f  %s\n", float64(i)*r.BucketSecs, g, bar)
+	}
+	return out
+}
+
+func barOf(frac float64) string {
+	n := int(frac*40 + 0.5)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+// DegradedRealResult is one real-mode fault-injected run.
+type DegradedRealResult struct {
+	Chunks      int
+	Delivered   int
+	Quarantined int64
+	Redials     int64
+	Resends     int64
+	SeqGaps     int64
+	Faults      faults.Stats
+	E2EGbps     float64
+	BucketSecs  float64
+	Gbps        []float64 // wall-clock delivery rate per bucket (raw bytes)
+}
+
+// DegradedLoopback streams `chunks` chunks through the real loopback
+// pipeline while a fault plan resets the connection mid-message and
+// flips one bit of a later chunk's payload. The reset message is
+// retransmitted after the automatic redial, the corrupted chunk is
+// caught by its CRC and quarantined, and the run completes with exact
+// accounting: delivered = chunks - 1, quarantined = 1.
+func DegradedLoopback(chunks, chunkBytes int) (DegradedRealResult, error) {
+	if chunks < 8 || chunkBytes < faults.CorruptMinLen {
+		return DegradedRealResult{}, fmt.Errorf("experiments: degraded run needs >= 8 chunks and >= %d-byte chunks", faults.CorruptMinLen)
+	}
+	topo, _ := hostnuma.Discover()
+
+	// A two-part msgq message costs five Write calls: part-count header,
+	// header length, header payload, data length, data payload. Reset in
+	// the middle of the message carrying chunk N/2 (the data-length
+	// write), so the whole message is retransmitted on the redialed
+	// connection; corrupt a payload write in the last quarter (Corrupt
+	// defers past the small framing writes on its own).
+	writesPerMsg := int64(5)
+	plan := faults.Plan{
+		Seed: 41,
+		Faults: []faults.Fault{
+			{Kind: faults.Reset, AfterWrites: writesPerMsg*int64(chunks/2) + 4},
+			{Kind: faults.Corrupt, AfterWrites: writesPerMsg * int64(3*chunks/4), Bit: 11},
+		},
+	}
+	inj := faults.NewInjector(plan)
+
+	// Single-threaded stages keep chunk order strict, so the counter
+	// assertions (exactly one gap at the quarantined chunk) are
+	// deterministic rather than subject to worker interleaving.
+	sCfg := runtime.NodeConfig{Node: "deg-src", Role: runtime.Sender,
+		Groups: []runtime.TaskGroup{
+			{Type: runtime.Compress, Count: 1, Placement: runtime.OS()},
+			{Type: runtime.Send, Count: 1, Placement: runtime.OS()},
+		}}
+	rCfg := runtime.NodeConfig{Node: "deg-gw", Role: runtime.Receiver,
+		Groups: []runtime.TaskGroup{
+			{Type: runtime.Receive, Count: 1, Placement: runtime.OS()},
+			{Type: runtime.Decompress, Count: 1, Placement: runtime.OS()},
+		}}
+
+	rng := rand.New(rand.NewSource(7))
+	payload := make([]byte, chunkBytes)
+	rng.Read(payload[:chunkBytes/2])
+	copy(payload[chunkBytes/2:], bytes.Repeat([]byte{0x11, 0x11, 0x22, 0x22}, chunkBytes/8+1)[:chunkBytes-chunkBytes/2])
+
+	ready := make(chan string, 1)
+	recvReg := metrics.NewRegistry()
+	sndReg := metrics.NewRegistry()
+	recvErr := make(chan error, 1)
+	start := time.Now()
+	var mu sync.Mutex
+	delivered := 0
+	var arrivals []struct {
+		t   float64
+		raw int
+	}
+	go func() {
+		recvErr <- pipeline.RunReceiver(pipeline.ReceiverOptions{
+			Cfg: rCfg, Topo: topo, Bind: "127.0.0.1:0",
+			Expect: chunks, Ready: ready, Metrics: recvReg,
+			Sink: func(c pipeline.Chunk) error {
+				delivered++ // sinkMu-serialized by the receiver
+				mu.Lock()
+				arrivals = append(arrivals, struct {
+					t   float64
+					raw int
+				}{time.Since(start).Seconds(), c.RawLen})
+				mu.Unlock()
+				return nil
+			},
+		})
+	}()
+	addr := <-ready
+
+	sent := 0
+	if err := pipeline.RunSender(pipeline.SenderOptions{
+		Cfg: sCfg, Topo: topo, Peers: []string{addr}, Metrics: sndReg,
+		Dial:        inj.Dialer(nil),
+		SendHorizon: 10 * time.Second,
+		Source: func() []byte {
+			mu.Lock()
+			defer mu.Unlock()
+			if sent >= chunks {
+				return nil
+			}
+			sent++
+			return payload
+		},
+	}); err != nil {
+		return DegradedRealResult{}, fmt.Errorf("degraded sender: %w", err)
+	}
+	if err := <-recvErr; err != nil {
+		return DegradedRealResult{}, fmt.Errorf("degraded receiver: %w", err)
+	}
+
+	res := DegradedRealResult{
+		Chunks:      chunks,
+		Delivered:   delivered,
+		Quarantined: recvReg.CounterValue(pipeline.CtrQuarantined),
+		Redials:     sndReg.CounterValue(msgq.CtrRedials),
+		Resends:     sndReg.CounterValue(msgq.CtrResends),
+		SeqGaps:     recvReg.CounterValue(pipeline.CtrSeqGaps),
+		Faults:      inj.Stats(),
+		Gbps:        make([]float64, DegradedBuckets),
+	}
+	for _, s := range recvReg.Snapshots() {
+		if s.Name == "decompress" {
+			res.E2EGbps = s.Gbps
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	res.BucketSecs = elapsed / DegradedBuckets
+	if res.BucketSecs > 0 {
+		for _, a := range arrivals {
+			b := int(a.t / res.BucketSecs)
+			if b >= DegradedBuckets {
+				b = DegradedBuckets - 1
+			}
+			res.Gbps[b] += float64(a.raw)
+		}
+		for i := range res.Gbps {
+			res.Gbps[i] = res.Gbps[i] * 8 / 1e9 / res.BucketSecs
+		}
+	}
+	return res, nil
+}
+
+// FormatDegradedReal renders the real-mode fault run.
+func FormatDegradedReal(r DegradedRealResult) string {
+	out := "Degraded-mode real loopback (reset + corrupt mid-stream)\n"
+	out += fmt.Sprintf("  chunks %d: delivered %d, quarantined %d (CRC), seq gaps %d\n",
+		r.Chunks, r.Delivered, r.Quarantined, r.SeqGaps)
+	out += fmt.Sprintf("  faults fired: %d reset, %d corrupt; recovery: %d redials, %d resends\n",
+		r.Faults.Resets, r.Faults.Corruptions, r.Redials, r.Resends)
+	out += fmt.Sprintf("  end-to-end %.2f Gbps\n", r.E2EGbps)
+	max := 0.0
+	for _, g := range r.Gbps {
+		if g > max {
+			max = g
+		}
+	}
+	for i, g := range r.Gbps {
+		bar := ""
+		if max > 0 {
+			bar = barOf(g / max)
+		}
+		out += fmt.Sprintf("%10.4f %10.2f  %s\n", float64(i)*r.BucketSecs, g, bar)
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns a connected TCP pair on loopback.
+func pipe(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		ch <- c
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	s := <-ch
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func TestInjectorResetAfterBytes(t *testing.T) {
+	c, _ := pipe(t)
+	in := NewInjector(Plan{Faults: []Fault{{Kind: Reset, AfterBytes: 10}}})
+	fc := in.Conn(c)
+
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write below threshold: %v", err)
+	}
+	if _, err := fc.Write(make([]byte, 8)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("write crossing threshold = %v, want ErrInjectedReset", err)
+	}
+	// The fault fired once; a second wrapped conn is clean.
+	c2, _ := pipe(t)
+	if _, err := in.Conn(c2).Write(make([]byte, 100)); err != nil {
+		t.Fatalf("write after fault fired: %v", err)
+	}
+	if st := in.Stats(); st.Resets != 1 {
+		t.Fatalf("Resets = %d, want 1", st.Resets)
+	}
+}
+
+func TestInjectorResetAfterWrites(t *testing.T) {
+	c, _ := pipe(t)
+	in := NewInjector(Plan{Faults: []Fault{{Kind: Reset, AfterWrites: 3}}})
+	fc := in.Conn(c)
+	for i := 0; i < 2; i++ {
+		if _, err := fc.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("third write = %v, want ErrInjectedReset", err)
+	}
+}
+
+func TestInjectorStall(t *testing.T) {
+	c, _ := pipe(t)
+	in := NewInjector(Plan{Faults: []Fault{{Kind: Stall, AfterWrites: 1, Stall: 50 * time.Millisecond}}})
+	fc := in.Conn(c)
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatalf("stalled write: %v", err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 50ms", d)
+	}
+	if st := in.Stats(); st.Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", st.Stalls)
+	}
+}
+
+func TestInjectorCorruptFlipsOneBit(t *testing.T) {
+	c, s := pipe(t)
+	in := NewInjector(Plan{Faults: []Fault{{Kind: Corrupt, AfterBytes: 1, Bit: 9}}})
+	fc := in.Conn(c)
+
+	payload := bytes.Repeat([]byte{0xAA}, 128)
+	go fc.Write(payload)
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+			if i != 1 { // bit 9 lives in byte 1
+				t.Fatalf("corruption at byte %d, want byte 1", i)
+			}
+			if got[i]^payload[i] != 1<<1 {
+				t.Fatalf("byte 1 = %02x, want single flip of bit 1", got[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d corrupted bytes, want exactly 1", diff)
+	}
+	// The caller's buffer must be untouched (the injector copies).
+	if !bytes.Equal(payload, bytes.Repeat([]byte{0xAA}, 128)) {
+		t.Fatal("injector corrupted the caller's buffer")
+	}
+}
+
+func TestInjectorCorruptDefersSmallWrites(t *testing.T) {
+	c, s := pipe(t)
+	in := NewInjector(Plan{Faults: []Fault{{Kind: Corrupt, AfterBytes: 1, Bit: 0}}})
+	fc := in.Conn(c)
+
+	small := []byte{1, 2, 3, 4} // below CorruptMinLen: must pass clean
+	go func() {
+		fc.Write(small)
+		fc.Write(bytes.Repeat([]byte{0xFF}, CorruptMinLen))
+	}()
+	got := make([]byte, 4+CorruptMinLen)
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got[:4], small) {
+		t.Fatalf("small write corrupted: %v", got[:4])
+	}
+	if got[4] != 0xFE {
+		t.Fatalf("deferred corruption byte = %02x, want fe", got[4])
+	}
+}
+
+func TestInjectorDeterministicWithSeed(t *testing.T) {
+	run := func() []byte {
+		c, s := pipe(t)
+		in := NewInjector(Plan{Seed: 99, Faults: []Fault{{Kind: Corrupt, AfterBytes: 200, Bit: -1}}})
+		fc := in.Conn(c)
+		payload := bytes.Repeat([]byte{0x5A}, 256)
+		go func() {
+			fc.Write(payload)
+			fc.Write(payload)
+		}()
+		got := make([]byte, 2*len(payload))
+		if _, err := io.ReadFull(s, got); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same plan and seed produced different byte streams")
+	}
+	clean := bytes.Repeat([]byte{0x5A}, 512)
+	if bytes.Equal(a, clean) {
+		t.Fatal("seeded corrupt fault never fired")
+	}
+}
+
+func TestListenerRefuseWindow(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	in := NewInjector(Plan{Refuse: []AcceptWindow{{From: 1, To: 3}}})
+	ln := in.Listener(base)
+	defer ln.Close()
+
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	// Four dials: accept ordinals 0..3; 1 and 2 are refused.
+	for i := 0; i < 4; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-accepted:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("accepted %d conns, want 2", i)
+		}
+	}
+	if st := in.Stats(); st.RefusedAccepts != 2 {
+		t.Fatalf("RefusedAccepts = %d, want 2", st.RefusedAccepts)
+	}
+}
+
+func TestLinkScheduleNormalize(t *testing.T) {
+	s := LinkSchedule{{Start: 5, End: 6, Capacity: 0.5}, {Start: 1, End: 2, Capacity: 0}}
+	norm, err := s.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if norm[0].Start != 1 || norm[1].Start != 5 {
+		t.Fatalf("not sorted: %+v", norm)
+	}
+	for _, bad := range []LinkSchedule{
+		{{Start: 2, End: 1, Capacity: 0}},                                  // inverted
+		{{Start: 0, End: 1, Capacity: 2}},                                  // capacity out of range
+		{{Start: 0, End: 2, Capacity: 0}, {Start: 1, End: 3, Capacity: 0}}, // overlap
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Fatalf("Normalize accepted %+v", bad)
+		}
+	}
+}
+
+func TestLinkScheduleStretch(t *testing.T) {
+	sched, err := LinkSchedule{
+		{Start: 10, End: 20, Capacity: 0},   // outage
+		{Start: 30, End: 40, Capacity: 0.5}, // half rate
+	}.Normalize()
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	cases := []struct{ start, d, want float64 }{
+		{0, 5, 5},    // entirely before the outage
+		{0, 11, 21},  // 10s of work, then the outage, then the last second
+		{12, 1, 21},  // starts inside the outage
+		{30, 5, 40},  // inside the degraded window: 5s of work at half rate
+		{25, 10, 40}, // 5s clean, then 5s of work taking 10s at half rate
+		{50, 3, 53},  // after every window
+	}
+	for _, c := range cases {
+		if got := sched.Stretch(c.start, c.d); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Stretch(%g, %g) = %g, want %g", c.start, c.d, got, c.want)
+		}
+	}
+	// Empty schedule: identity.
+	if got := (LinkSchedule{}).Stretch(3, 4); got != 7 {
+		t.Errorf("empty Stretch = %g, want 7", got)
+	}
+}

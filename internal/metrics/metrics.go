@@ -64,15 +64,42 @@ type Snapshot struct {
 	Gbps    float64
 }
 
-// Registry groups named meters for a pipeline run.
+// Counter is a named atomic event counter. Where a Meter measures the
+// happy path (bytes, items, rates), a Counter accounts for discrete
+// failure events: reconnects, retransmitted sends, quarantined chunks,
+// sequence gaps, timeouts.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add records n events at once (e.g. a sequence gap of n chunks).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterSnapshot is a point-in-time view of one counter.
+type CounterSnapshot struct {
+	Name  string
+	Value int64
+}
+
+// Registry groups named meters and counters for a pipeline run.
 type Registry struct {
-	mu     sync.Mutex
-	meters map[string]*Meter
+	mu       sync.Mutex
+	meters   map[string]*Meter
+	counters map[string]*Counter
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{meters: make(map[string]*Meter)}
+	return &Registry{
+		meters:   make(map[string]*Meter),
+		counters: make(map[string]*Counter),
+	}
 }
 
 // Meter returns the named meter, creating it on first use.
@@ -85,6 +112,42 @@ func (r *Registry) Meter(name string) *Meter {
 		r.meters[name] = m
 	}
 	return m
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// CounterValue returns the named counter's value, zero if it was never
+// created — so callers can assert on counters a run may not have touched.
+func (r *Registry) CounterValue(name string) int64 {
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// CounterSnapshots returns all counters sorted by name.
+func (r *Registry) CounterSnapshots() []CounterSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CounterSnapshot, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, CounterSnapshot{Name: name, Value: c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Snapshots returns all meters' snapshots sorted by name.
@@ -105,12 +168,19 @@ func (r *Registry) Snapshots() []Snapshot {
 	return out
 }
 
-// String renders the registry as a small table.
+// String renders the registry as a small table: meters first, then any
+// nonzero failure counters.
 func (r *Registry) String() string {
 	out := ""
 	for _, s := range r.Snapshots() {
 		out += fmt.Sprintf("%-16s %12d bytes %8d items %8.2f Gbps\n",
 			s.Name, s.Bytes, s.Items, s.Gbps)
+	}
+	for _, c := range r.CounterSnapshots() {
+		if c.Value == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-16s %12d events\n", c.Name, c.Value)
 	}
 	return out
 }

@@ -20,10 +20,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"numastream/internal/metrics"
 	"numastream/internal/queue"
 )
 
@@ -38,6 +41,24 @@ const (
 
 // ErrClosed is returned by operations on closed sockets.
 var ErrClosed = errors.New("msgq: socket closed")
+
+// ErrNoPeers is returned (wrapped) by Send and WaitLiveTimeout when
+// every peer stays dead past the configured horizon.
+var ErrNoPeers = errors.New("msgq: no live peers")
+
+// Failure-counter names recorded in a Push's Counters registry. The
+// split between CtrDials and CtrRedials is what reconnect tests assert
+// on: a redial is a connection re-established after a previous one on
+// the same endpoint dropped.
+const (
+	CtrDials        = "msgq_dials"         // first successful connection per endpoint
+	CtrRedials      = "msgq_redials"       // reconnections after a drop
+	CtrDialErrors   = "msgq_dial_errors"   // failed dial attempts
+	CtrConnDrops    = "msgq_conn_drops"    // connections dropped after a write failure
+	CtrResends      = "msgq_resends"       // messages that needed more than one write attempt
+	CtrSendTimeouts = "msgq_send_timeouts" // writes aborted by WriteTimeout
+	CtrHorizonFails = "msgq_horizon_fails" // Sends failed by SendHorizon
+)
 
 // writeMessage serializes msg onto w.
 func writeMessage(w io.Writer, msg Message) error {
@@ -93,66 +114,164 @@ func readMessage(r io.Reader) (Message, error) {
 }
 
 // pushConn pairs a connection with a write lock so concurrent Send
-// calls sharing one socket never interleave frames on the wire.
+// calls sharing one socket never interleave frames on the wire. gone is
+// closed exactly once, by whichever of drop/Close removes the
+// connection, and wakes the endpoint's maintainer to redial.
 type pushConn struct {
 	conn    net.Conn
 	writeMu sync.Mutex
+	gone    chan struct{}
 }
 
 // Push is the connect-side socket: it distributes messages round-robin
 // over its live connections, blocks while none are up, and redials lost
-// endpoints in the background. Send is safe for concurrent use: the
-// paper's runtime shares one PUSH socket across all sending threads.
+// endpoints in the background with capped exponential backoff plus
+// jitter. Send is safe for concurrent use: the paper's runtime shares
+// one PUSH socket across all sending threads.
 type Push struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	conns   []*pushConn
 	next    int
 	closed  bool
+	done    chan struct{} // closed by Close; unblocks backoff sleeps
 	dialers sync.WaitGroup
 
-	// RetryInterval is the redial backoff (settable before Connect).
+	// RetryInterval is the initial redial backoff (settable before
+	// Connect). Each failed dial doubles it, capped at RetryMax, with
+	// ±50% jitter so a fleet of senders does not redial in lockstep; a
+	// successful connection resets it.
 	RetryInterval time.Duration
+	// RetryMax caps the redial backoff (default 2s).
+	RetryMax time.Duration
+	// SendHorizon bounds how long a Send blocks while every peer is
+	// dead: once no connection has been live for this long, Send fails
+	// with an error wrapping ErrNoPeers instead of blocking forever.
+	// Zero means block until Close — the pre-fault-model behaviour.
+	SendHorizon time.Duration
+	// WriteTimeout is the per-message write deadline. A write that
+	// stalls past it fails, the connection is dropped (the peer is
+	// wedged, not slow: frame alignment is lost mid-message) and the
+	// message retries elsewhere. Zero means no deadline.
+	WriteTimeout time.Duration
+	// Dial overrides the transport dialer; nil means plain TCP. Fault
+	// injection (faults.Injector.Dialer) and tests hook in here.
+	Dial func(addr string) (net.Conn, error)
+	// Counters, when non-nil, receives the Ctr* failure counters.
+	Counters *metrics.Registry
 }
 
 // NewPush returns an unconnected PUSH socket.
 func NewPush() *Push {
-	p := &Push{RetryInterval: 100 * time.Millisecond}
+	p := &Push{
+		RetryInterval: 100 * time.Millisecond,
+		RetryMax:      2 * time.Second,
+		done:          make(chan struct{}),
+	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
 
-// Connect starts maintaining a connection to addr, redialing on failure
-// until Close. It returns after launching the dialer (connections come
-// up asynchronously; Send blocks until one is live).
+func (p *Push) count(name string) {
+	if p.Counters != nil {
+		p.Counters.Counter(name).Inc()
+	}
+}
+
+func (p *Push) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+func (p *Push) dial(addr string) (net.Conn, error) {
+	if p.Dial != nil {
+		return p.Dial(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// Connect starts maintaining a connection to addr until Close: dial,
+// redial on failure with backoff, and — unlike a one-shot dialer —
+// automatically re-establish the connection whenever it later drops.
+// It returns after launching the maintainer (connections come up
+// asynchronously; Send blocks until one is live).
 func (p *Push) Connect(addr string) {
 	p.dialers.Add(1)
-	go func() {
-		defer p.dialers.Done()
-		for {
-			p.mu.Lock()
-			closed := p.closed
-			p.mu.Unlock()
-			if closed {
-				return
-			}
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				time.Sleep(p.RetryInterval)
-				continue
-			}
-			p.mu.Lock()
-			if p.closed {
-				p.mu.Unlock()
-				conn.Close()
-				return
-			}
-			p.conns = append(p.conns, &pushConn{conn: conn})
-			p.cond.Broadcast()
-			p.mu.Unlock()
+	go p.maintain(addr)
+}
+
+// maintain owns one endpoint's connection lifecycle.
+func (p *Push) maintain(addr string) {
+	defer p.dialers.Done()
+	initial := p.RetryInterval
+	if initial <= 0 {
+		initial = 100 * time.Millisecond
+	}
+	max := p.RetryMax
+	if max < initial {
+		max = initial
+	}
+	backoff := initial
+	established := 0
+	for {
+		if p.isClosed() {
 			return
 		}
-	}()
+		conn, err := p.dial(addr)
+		if err != nil {
+			p.count(CtrDialErrors)
+			// Jittered sleep in [backoff/2, backoff), interruptible
+			// by Close.
+			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+			select {
+			case <-time.After(d):
+			case <-p.done:
+				return
+			}
+			backoff *= 2
+			if backoff > max {
+				backoff = max
+			}
+			continue
+		}
+		pc := &pushConn{conn: conn, gone: make(chan struct{})}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns = append(p.conns, pc)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+		if established == 0 {
+			p.count(CtrDials)
+		} else {
+			p.count(CtrRedials)
+		}
+		established++
+		backoff = initial
+		<-pc.gone // connection dropped or socket closed; loop to redial
+	}
+}
+
+// drop removes a dead connection and wakes its maintainer. Only the
+// goroutine that removes pc from p.conns closes pc.gone, so the channel
+// closes exactly once even when Send and Close race.
+func (p *Push) drop(pc *pushConn) {
+	p.mu.Lock()
+	for i, c := range p.conns {
+		if c == pc {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			p.mu.Unlock()
+			pc.conn.Close()
+			close(pc.gone)
+			p.count(CtrConnDrops)
+			return
+		}
+	}
+	p.mu.Unlock()
 }
 
 // Live returns the number of currently connected peers.
@@ -178,10 +297,38 @@ func (p *Push) WaitLive(n int) error {
 	return nil
 }
 
+// WaitLiveTimeout is WaitLive with a deadline: it returns an error
+// wrapping ErrNoPeers if fewer than n peers are live once d elapses, so
+// a node can report "receiver never came up" instead of hanging.
+func (p *Push) WaitLiveTimeout(n int, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	t := time.AfterFunc(d, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer t.Stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.conns) < n && !p.closed && time.Now().Before(deadline) {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return ErrClosed
+	}
+	if len(p.conns) < n {
+		return fmt.Errorf("%w: %d of %d peers live after %v", ErrNoPeers, len(p.conns), n, d)
+	}
+	return nil
+}
+
 // Send writes msg to the next live connection (round robin), blocking
 // while none are available. A connection that fails is dropped and the
-// message retried on another (or after reconnect by the caller's next
-// Connect); the message is never silently lost unless the socket closes.
+// message retried on another or after the background redial; the message
+// is never silently lost unless the socket closes. With SendHorizon set,
+// Send instead fails (wrapping ErrNoPeers) once every peer has stayed
+// dead for that long — the bounded-unavailability contract the streaming
+// pipeline needs to abort cleanly instead of wedging a worker forever.
 func (p *Push) Send(msg Message) error {
 	// Validate up front: a malformed message is the caller's error, not
 	// a connection failure to retry around.
@@ -193,39 +340,69 @@ func (p *Push) Send(msg Message) error {
 			return fmt.Errorf("msgq: part of %d bytes exceeds limit", len(part))
 		}
 	}
-	for {
+	var horizonAt time.Time // deadline, armed when we first see zero live peers
+	for attempt := 0; ; attempt++ {
 		p.mu.Lock()
 		for len(p.conns) == 0 && !p.closed {
+			if p.SendHorizon <= 0 {
+				p.cond.Wait()
+				continue
+			}
+			now := time.Now()
+			if horizonAt.IsZero() {
+				horizonAt = now.Add(p.SendHorizon)
+			}
+			if !now.Before(horizonAt) {
+				p.mu.Unlock()
+				p.count(CtrHorizonFails)
+				return fmt.Errorf("%w for %v", ErrNoPeers, p.SendHorizon)
+			}
+			// cond.Wait cannot time out; arm a wake-up at the horizon
+			// so the loop re-checks the deadline even if no
+			// connection event ever arrives.
+			t := time.AfterFunc(horizonAt.Sub(now), func() {
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			})
 			p.cond.Wait()
+			t.Stop()
 		}
 		if p.closed {
 			p.mu.Unlock()
 			return ErrClosed
 		}
+		horizonAt = time.Time{} // peers live again; horizon re-arms on the next outage
 		p.next = (p.next + 1) % len(p.conns)
 		pc := p.conns[p.next]
 		p.mu.Unlock()
 
 		pc.writeMu.Lock()
+		if p.WriteTimeout > 0 {
+			pc.conn.SetWriteDeadline(time.Now().Add(p.WriteTimeout))
+		}
 		err := writeMessage(pc.conn, msg)
+		if p.WriteTimeout > 0 {
+			pc.conn.SetWriteDeadline(time.Time{})
+		}
 		pc.writeMu.Unlock()
 		if err == nil {
+			if attempt > 0 {
+				p.count(CtrResends)
+			}
 			return nil
 		}
-		// Drop the dead connection and retry on another.
-		p.mu.Lock()
-		for i, c := range p.conns {
-			if c == pc {
-				p.conns = append(p.conns[:i], p.conns[i+1:]...)
-				c.conn.Close()
-				break
-			}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			p.count(CtrSendTimeouts)
 		}
-		p.mu.Unlock()
+		// Drop the dead connection (waking its redialer) and retry.
+		p.drop(pc)
 	}
 }
 
-// Close tears down all connections. Pending Sends fail with ErrClosed.
+// Close tears down all connections and stops the redialers. Pending
+// Sends fail with ErrClosed.
 func (p *Push) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -235,10 +412,12 @@ func (p *Push) Close() error {
 	p.closed = true
 	conns := p.conns
 	p.conns = nil
+	close(p.done)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	for _, c := range conns {
 		c.conn.Close()
+		close(c.gone)
 	}
 	p.dialers.Wait()
 	return nil
@@ -247,12 +426,13 @@ func (p *Push) Close() error {
 // Pull is the bind-side socket: it accepts any number of PUSH peers and
 // fair-queues their messages into Recv.
 type Pull struct {
-	ln     net.Listener
-	inbox  *queue.Queue[Message]
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	ln       net.Listener
+	inbox    *queue.Queue[Message]
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+	readErrs atomic.Int64
 }
 
 // NewPull binds a PULL socket on addr (e.g. "127.0.0.1:0").
@@ -261,6 +441,13 @@ func NewPull(addr string) (*Pull, error) {
 	if err != nil {
 		return nil, fmt.Errorf("msgq: bind %s: %w", addr, err)
 	}
+	return NewPullFromListener(ln), nil
+}
+
+// NewPullFromListener serves a PULL socket on an existing listener —
+// the injection point for fault-wrapped listeners (faults.Injector) and
+// custom transports. The Pull takes ownership of ln.
+func NewPullFromListener(ln net.Listener) *Pull {
 	p := &Pull{
 		ln:    ln,
 		inbox: queue.New[Message](256),
@@ -268,8 +455,14 @@ func NewPull(addr string) (*Pull, error) {
 	}
 	p.wg.Add(1)
 	go p.acceptLoop()
-	return p, nil
+	return p
 }
+
+// ReadErrors returns the number of peer connections torn down by a
+// framing error (truncated or malformed frame) rather than a clean EOF —
+// each one is a partially received message that was discarded, which the
+// sending side retransmits whole on its next connection.
+func (p *Pull) ReadErrors() int64 { return p.readErrs.Load() }
 
 // Addr returns the bound address (useful with ":0").
 func (p *Pull) Addr() net.Addr { return p.ln.Addr() }
@@ -305,6 +498,12 @@ func (p *Pull) readLoop(conn net.Conn) {
 	for {
 		msg, err := readMessage(conn)
 		if err != nil {
+			// Clean EOF is a peer closing between messages; our own
+			// Close also surfaces here. Anything else tore down a
+			// frame mid-message.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				p.readErrs.Add(1)
+			}
 			return
 		}
 		if err := p.inbox.Put(msg); err != nil {

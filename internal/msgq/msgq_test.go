@@ -2,12 +2,16 @@ package msgq
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"numastream/internal/metrics"
 )
 
 func pair(t *testing.T) (*Push, *Pull) {
@@ -305,7 +309,8 @@ func TestPushReconnectAfterPeerRestart(t *testing.T) {
 		t.Fatalf("rebind: %v", err)
 	}
 	defer pull2.Close()
-	push.Connect(addr) // new dialer for the new peer
+	// No second Connect: the endpoint's own maintain loop keeps
+	// redialing and must find the new peer on its own.
 
 	deadline := time.After(5 * time.Second)
 	got := make(chan Message, 1)
@@ -330,6 +335,177 @@ func TestPushReconnectAfterPeerRestart(t *testing.T) {
 		}
 	case <-deadline:
 		t.Fatal("no message delivered after peer restart")
+	}
+}
+
+// TestSendErrorsWithinHorizon is the regression test for the unbounded
+// block: kill the only Pull and assert Send fails with ErrNoPeers within
+// the configured horizon instead of hanging forever.
+func TestSendErrorsWithinHorizon(t *testing.T) {
+	pull, err := NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	push := NewPush()
+	push.RetryInterval = 10 * time.Millisecond
+	push.SendHorizon = 300 * time.Millisecond
+	push.Counters = reg
+	defer push.Close()
+	push.Connect(pull.Addr().String())
+
+	if err := push.Send(Message{[]byte("alive")}); err != nil {
+		t.Fatalf("Send with live peer: %v", err)
+	}
+	if _, err := pull.Recv(); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	pull.Close()
+
+	// A write into the freshly dead socket can still land in the TCP
+	// buffer; keep sending until the failure surfaces. With the peer
+	// gone for good, Send must error within the horizon, not block.
+	var sendErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if sendErr = push.Send(Message{[]byte("doomed")}); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		t.Fatal("Send never errored after the only peer died")
+	}
+	if !errors.Is(sendErr, ErrNoPeers) {
+		t.Fatalf("Send error = %v, want ErrNoPeers", sendErr)
+	}
+	if n := reg.CounterValue(CtrHorizonFails); n < 1 {
+		t.Fatalf("horizon failures = %d, want >= 1", n)
+	}
+}
+
+// TestAutoRedialAfterPullRestart restarts the Pull endpoint mid-stream
+// and asserts the Push re-establishes on its own (no second Connect) and
+// that every message accepted after the reconnection is delivered.
+func TestAutoRedialAfterPullRestart(t *testing.T) {
+	pull1, err := NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := pull1.Addr().String()
+	reg := metrics.NewRegistry()
+	push := NewPush()
+	push.RetryInterval = 5 * time.Millisecond
+	push.Counters = reg
+	defer push.Close()
+	push.Connect(addr)
+
+	const phase1, phase2 = 10, 20
+	for i := 0; i < phase1; i++ {
+		if err := push.Send(Message{[]byte(fmt.Sprintf("a%02d", i))}); err != nil {
+			t.Fatalf("phase-1 Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < phase1; i++ {
+		m, err := pull1.Recv()
+		if err != nil {
+			t.Fatalf("phase-1 Recv %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("a%02d", i); string(m[0]) != want {
+			t.Fatalf("phase-1 message %d = %q, want %q", i, m[0], want)
+		}
+	}
+
+	// Restart the endpoint on the same port.
+	pull1.Close()
+	var pull2 *Pull
+	for i := 0; i < 200; i++ {
+		pull2, err = NewPull(addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind: %v", err)
+	}
+	defer pull2.Close()
+
+	got := make(chan string, 64)
+	go func() {
+		for {
+			m, err := pull2.Recv()
+			if err != nil {
+				return
+			}
+			got <- string(m[0])
+		}
+	}()
+
+	// Sync phase: a write into the dying socket may be absorbed by TCP
+	// before the failure surfaces, so probe until the redialed
+	// connection demonstrably carries traffic.
+	deadline := time.Now().Add(10 * time.Second)
+	synced := false
+	for !synced {
+		if time.Now().After(deadline) {
+			t.Fatal("push never re-established to the restarted pull")
+		}
+		if err := push.Send(Message{[]byte("sync")}); err != nil {
+			t.Fatalf("sync Send: %v", err)
+		}
+		select {
+		case m := <-got:
+			if m == "sync" {
+				synced = true
+			}
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	// Phase 2: everything accepted on the live connection must arrive,
+	// in order.
+	for i := 0; i < phase2; i++ {
+		if err := push.Send(Message{[]byte(fmt.Sprintf("b%02d", i))}); err != nil {
+			t.Fatalf("phase-2 Send %d: %v", i, err)
+		}
+	}
+	next := 0
+	for next < phase2 {
+		select {
+		case m := <-got:
+			if m == "sync" {
+				continue // stragglers from the sync phase
+			}
+			if want := fmt.Sprintf("b%02d", next); m != want {
+				t.Fatalf("phase-2 message = %q, want %q", m, want)
+			}
+			next++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivered %d of %d phase-2 messages", next, phase2)
+		}
+	}
+	if n := reg.CounterValue(CtrRedials); n < 1 {
+		t.Fatalf("redials = %d, want >= 1", n)
+	}
+}
+
+func TestWaitLiveTimeout(t *testing.T) {
+	push := NewPush()
+	defer push.Close()
+	push.Connect("127.0.0.1:1") // nothing listens there
+	start := time.Now()
+	err := push.WaitLiveTimeout(1, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("WaitLiveTimeout succeeded with no peer")
+	}
+	if !errors.Is(err, ErrNoPeers) {
+		t.Fatalf("WaitLiveTimeout error = %v, want ErrNoPeers", err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("WaitLiveTimeout returned after %v", d)
+	}
+	if !strings.Contains(err.Error(), "100ms") {
+		t.Fatalf("error does not mention the timeout: %v", err)
 	}
 }
 

@@ -8,19 +8,63 @@ package netsim
 import (
 	"math"
 
+	"numastream/internal/faults"
 	"numastream/internal/hw"
 	"numastream/internal/sim"
 )
 
-// Link is a shared network segment.
+// Link is a shared network segment. A fault schedule (SetFaults) makes
+// the link lose capacity over chosen virtual-time windows — outages and
+// degradation on the simulated WAN, the counterpart of the real-mode
+// connection faults in internal/faults.
 type Link struct {
 	Srv *sim.Server
 	RTT float64 // seconds, end to end
+
+	sched      faults.LinkSchedule
+	faultFree  float64 // FIFO freeAt on the faulted timeline
+	faultDelay float64 // cumulative extra service time faults added
+	faultBytes float64 // bytes served through the faulted timeline
 }
 
 // NewLink returns a link with the given capacity (bytes/s) and RTT.
 func NewLink(eng *sim.Engine, name string, bw, rtt float64) *Link {
 	return &Link{Srv: sim.NewServer(name, bw), RTT: rtt}
+}
+
+// SetFaults installs a fault schedule on the link (normalizing it
+// first). Pass an empty schedule to clear.
+func (l *Link) SetFaults(s faults.LinkSchedule) error {
+	norm, err := s.Normalize()
+	if err != nil {
+		return err
+	}
+	if len(norm) == 0 {
+		norm = nil
+	}
+	l.sched = norm
+	return nil
+}
+
+// FaultDelay returns the cumulative extra service time (seconds) the
+// fault schedule has inflicted on this link's traffic.
+func (l *Link) FaultDelay() float64 { return l.faultDelay }
+
+// Acquire reserves link capacity for one message and returns its
+// completion time. Without a fault schedule this is the plain FIFO
+// server; with one, service time is stretched across outage and
+// degraded-capacity windows.
+func (l *Link) Acquire(now, bytes float64) float64 {
+	if l.sched == nil {
+		return l.Srv.Acquire(now, bytes)
+	}
+	start := math.Max(now, l.faultFree)
+	d := bytes / l.Srv.Rate()
+	end := l.sched.Stretch(start, d)
+	l.faultFree = end
+	l.faultDelay += end - (start + d)
+	l.faultBytes += bytes
+	return end
 }
 
 // Path is a unidirectional data path from a sender machine's NIC over a
@@ -56,6 +100,9 @@ func NewPath(eng *sim.Engine, src *hw.Machine, srcNIC *hw.NIC, link *Link, dst *
 // DstSocket returns the NUMA domain received data lands in.
 func (p *Path) DstSocket() int { return p.dstNIC.Socket }
 
+// Link returns the shared segment this path crosses.
+func (p *Path) Link() *Link { return p.link }
+
 // Send moves one message of the given size across the path and invokes
 // k with the time the data is resident in receiver memory. The transfer
 // holds the sender's NIC tx engine, a fair share of the link, the
@@ -66,7 +113,7 @@ func (p *Path) DstSocket() int { return p.dstNIC.Socket }
 // RTT of propagation is added.
 func (p *Path) Send(now, bytes float64, k func(arrival float64)) {
 	t := p.srcNIC.Tx.Acquire(now, bytes)
-	t = math.Max(t, p.link.Srv.Acquire(now, bytes))
+	t = math.Max(t, p.link.Acquire(now, bytes))
 	t = math.Max(t, p.dstNIC.Rx.Acquire(now, bytes))
 	t += p.link.RTT / 2
 	p.eng.Schedule(t, func() {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"numastream/internal/faults"
 	"numastream/internal/hw"
 	"numastream/internal/sim"
 )
@@ -91,6 +92,50 @@ func TestSharedLinkContention(t *testing.T) {
 	eng.Run()
 	if math.Abs(last-10) > 1e-9 {
 		t.Fatalf("last arrival = %v, want 10 (shared link serialization)", last)
+	}
+}
+
+func TestLinkOutageDelaysTraffic(t *testing.T) {
+	// 100 B/s link with an outage through [1, 3): a second 100-byte
+	// message that would finish at t=2 is pushed to t=4.
+	eng, _, _, p := buildPath(t, 100, 0)
+	if err := p.Link().SetFaults(faults.LinkSchedule{{Start: 1, End: 3, Capacity: 0}}); err != nil {
+		t.Fatalf("SetFaults: %v", err)
+	}
+	var first, last float64
+	p.Send(0, 100, func(a float64) { first = a })
+	p.Send(0, 100, func(a float64) { last = a })
+	eng.Run()
+	if math.Abs(first-1) > 1e-9 {
+		t.Fatalf("first arrival = %v, want 1 (finishes as the outage starts)", first)
+	}
+	if math.Abs(last-4) > 1e-9 {
+		t.Fatalf("second arrival = %v, want 4 (stalled through the outage)", last)
+	}
+	if d := p.Link().FaultDelay(); math.Abs(d-2) > 1e-9 {
+		t.Fatalf("FaultDelay = %v, want 2", d)
+	}
+}
+
+func TestLinkDegradedCapacity(t *testing.T) {
+	// Half-capacity window [0, 10): a 100-byte message at 100 B/s takes
+	// 2s instead of 1.
+	eng, _, _, p := buildPath(t, 100, 0)
+	if err := p.Link().SetFaults(faults.LinkSchedule{{Start: 0, End: 10, Capacity: 0.5}}); err != nil {
+		t.Fatalf("SetFaults: %v", err)
+	}
+	var arrival float64
+	p.Send(0, 100, func(a float64) { arrival = a })
+	eng.Run()
+	if math.Abs(arrival-2) > 1e-9 {
+		t.Fatalf("arrival = %v, want 2 (half-rate window)", arrival)
+	}
+}
+
+func TestLinkRejectsBadSchedule(t *testing.T) {
+	_, _, _, p := buildPath(t, 100, 0)
+	if err := p.Link().SetFaults(faults.LinkSchedule{{Start: 2, End: 1, Capacity: 0}}); err == nil {
+		t.Fatal("inverted window accepted")
 	}
 }
 

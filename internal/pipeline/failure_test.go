@@ -1,75 +1,202 @@
 package pipeline
 
 import (
+	"hash/crc32"
+	"net"
 	"strings"
 	"sync"
 	"testing"
 
+	"numastream/internal/faults"
+	"numastream/internal/metrics"
 	"numastream/internal/msgq"
 )
 
 // Failure injection: a receiver confronted with malformed traffic must
-// fail cleanly (no hang, no panic) and report what happened.
+// quarantine it and keep streaming (the default), or fail cleanly (no
+// hang, no panic) under FailHard — never silently deliver bad data.
 
-func startReceiver(t *testing.T, nDec, expect int) (addr string, done chan error) {
+func startReceiver(t *testing.T, nDec, expect int, mut func(*ReceiverOptions)) (addr string, reg *metrics.Registry, done chan error) {
 	t.Helper()
 	ready := make(chan string, 1)
 	done = make(chan error, 1)
+	reg = metrics.NewRegistry()
+	opts := ReceiverOptions{
+		Cfg: receiverCfg(1, nDec), Topo: testTopo(), Bind: "127.0.0.1:0",
+		Expect: expect, Ready: ready, Metrics: reg,
+	}
+	if mut != nil {
+		mut(&opts)
+	}
 	go func() {
-		done <- RunReceiver(ReceiverOptions{
-			Cfg: receiverCfg(1, nDec), Topo: testTopo(), Bind: "127.0.0.1:0",
-			Expect: expect, Ready: ready,
-		})
+		done <- RunReceiver(opts)
 	}()
-	return <-ready, done
+	return <-ready, reg, done
 }
 
-func TestReceiverRejectsCorruptCompressedChunk(t *testing.T) {
-	addr, done := startReceiver(t, 1, 1)
-	push := msgq.NewPush()
-	defer push.Close()
-	push.Connect(addr)
+// corruptLZ4Message is a chunk whose CRC is intact but whose payload is
+// not a valid LZ4 block — it survives the wire check and dies in the
+// decompress stage.
+func corruptLZ4Message() msgq.Message {
+	payload := []byte{0xff, 0xff, 0xff, 0xff}
+	hdr := encodeHeader(Chunk{Seq: 0, RawLen: 1000, Packed: true}, crc32.Checksum(payload, crcTable))
+	return msgq.Message{hdr, payload}
+}
 
-	// A chunk claiming to be LZ4 whose payload is garbage.
-	hdr := encodeHeader(Chunk{Seq: 0, RawLen: 1000, Packed: true})
-	if err := push.Send(msgq.Message{hdr, []byte{0xff, 0xff, 0xff, 0xff}}); err != nil {
+func TestReceiverQuarantinesCorruptCompressedChunk(t *testing.T) {
+	addr, reg, done := startReceiver(t, 1, 1, nil)
+	push := newTestPush(t, addr)
+
+	if err := push.Send(corruptLZ4Message()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("quarantine mode must not abort the node: %v", err)
+	}
+	if n := reg.CounterValue(CtrQuarantined); n != 1 {
+		t.Fatalf("quarantined = %d, want 1", n)
+	}
+}
+
+func TestReceiverFailHardOnCorruptCompressedChunk(t *testing.T) {
+	addr, _, done := startReceiver(t, 1, 1, func(o *ReceiverOptions) { o.FailHard = true })
+	push := newTestPush(t, addr)
+
+	if err := push.Send(corruptLZ4Message()); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
 	err := <-done
 	if err == nil {
-		t.Fatal("receiver accepted a corrupt compressed chunk")
+		t.Fatal("FailHard receiver accepted a corrupt compressed chunk")
 	}
 	if !strings.Contains(err.Error(), "decompress") {
 		t.Fatalf("error does not identify the stage: %v", err)
 	}
 }
 
-func TestReceiverRejectsMalformedMessage(t *testing.T) {
-	addr, done := startReceiver(t, 0, 1)
-	push := msgq.NewPush()
-	defer push.Close()
-	push.Connect(addr)
+func TestReceiverQuarantinesCRCMismatch(t *testing.T) {
+	addr, reg, done := startReceiver(t, 0, 1, nil)
+	push := newTestPush(t, addr)
+
+	payload := []byte("plain payload, wrong checksum")
+	hdr := encodeHeader(Chunk{Seq: 0, RawLen: len(payload)}, crc32.Checksum(payload, crcTable)+1)
+	if err := push.Send(msgq.Message{hdr, payload}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("quarantine mode must not abort the node: %v", err)
+	}
+	if n := reg.CounterValue(CtrQuarantined); n != 1 {
+		t.Fatalf("quarantined = %d, want 1", n)
+	}
+}
+
+func TestReceiverQuarantinesMalformedMessage(t *testing.T) {
+	addr, reg, done := startReceiver(t, 0, 1, nil)
+	push := newTestPush(t, addr)
 
 	// Wrong part count.
 	if err := push.Send(msgq.Message{[]byte("lonely")}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
-	if err := <-done; err == nil {
-		t.Fatal("receiver accepted a one-part message")
+	if err := <-done; err != nil {
+		t.Fatalf("quarantine mode must not abort the node: %v", err)
+	}
+	if n := reg.CounterValue(CtrQuarantined); n != 1 {
+		t.Fatalf("quarantined = %d, want 1", n)
 	}
 }
 
-func TestReceiverRejectsShortHeader(t *testing.T) {
-	addr, done := startReceiver(t, 0, 1)
-	push := msgq.NewPush()
-	defer push.Close()
-	push.Connect(addr)
+func TestReceiverFailHardOnMalformedMessage(t *testing.T) {
+	addr, _, done := startReceiver(t, 0, 1, func(o *ReceiverOptions) { o.FailHard = true })
+	push := newTestPush(t, addr)
+
+	if err := push.Send(msgq.Message{[]byte("lonely")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("FailHard receiver accepted a one-part message")
+	}
+}
+
+func TestReceiverFailHardOnShortHeader(t *testing.T) {
+	addr, _, done := startReceiver(t, 0, 1, func(o *ReceiverOptions) { o.FailHard = true })
+	push := newTestPush(t, addr)
 
 	if err := push.Send(msgq.Message{[]byte{1, 2, 3}, []byte("data")}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
 	if err := <-done; err == nil {
-		t.Fatal("receiver accepted a short header")
+		t.Fatal("FailHard receiver accepted a short header")
+	}
+}
+
+func TestReceiverMaxBadChunksAborts(t *testing.T) {
+	addr, _, done := startReceiver(t, 0, 10, func(o *ReceiverOptions) { o.MaxBadChunks = 1 })
+	push := newTestPush(t, addr)
+
+	// Two bad chunks: the first is quarantined, the second crosses the
+	// threshold and must abort the node.
+	for i := 0; i < 2; i++ {
+		if err := push.Send(msgq.Message{[]byte("lonely")}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	err := <-done
+	if err == nil {
+		t.Fatal("receiver survived past MaxBadChunks")
+	}
+	if !strings.Contains(err.Error(), "MaxBadChunks") {
+		t.Fatalf("error does not identify the threshold: %v", err)
+	}
+}
+
+// TestReceiverSurvivesRefusedAccepts drives the pipeline through a
+// fault-wrapped listener that refuses the first connection (what a
+// restarting gateway looks like): the sender's redial loop must get
+// through on the second attempt and every chunk must arrive.
+func TestReceiverSurvivesRefusedAccepts(t *testing.T) {
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	inj := faults.NewInjector(faults.Plan{Refuse: []faults.AcceptWindow{{From: 0, To: 1}}})
+
+	const chunks = 8
+	var mu sync.Mutex
+	delivered := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- RunReceiver(ReceiverOptions{
+			Cfg: receiverCfg(1, 1), Topo: testTopo(),
+			Listener: inj.Listener(base),
+			Expect:   chunks,
+			Sink: func(c Chunk) error {
+				mu.Lock()
+				delivered++
+				mu.Unlock()
+				return nil
+			},
+		})
+	}()
+
+	if err := RunSender(SenderOptions{
+		Cfg: senderCfg(1, 1), Topo: testTopo(),
+		Peers:  []string{base.Addr().String()},
+		Source: chunkSource(chunks, 4<<10),
+	}); err != nil {
+		t.Fatalf("RunSender: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("RunReceiver: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != chunks {
+		t.Fatalf("delivered %d of %d chunks", delivered, chunks)
+	}
+	if st := inj.Stats(); st.RefusedAccepts != 1 {
+		t.Fatalf("RefusedAccepts = %d, want 1", st.RefusedAccepts)
 	}
 }
 

@@ -3,6 +3,8 @@ package pipeline
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"net"
 	"sync"
 	"time"
 
@@ -60,13 +62,25 @@ type Chunk struct {
 	Packed bool   // Data is an LZ4 block
 }
 
-// message header: seq uint64 | rawLen uint32 | stream uint32 | flags uint8
+// message header:
+//
+//	seq uint64 | rawLen uint32 | stream uint32 | flags uint8 | crc uint32
+//
+// crc is a CRC-32C (Castagnoli) over the payload part as it travels the
+// wire (the LZ4 block when packed). The WAN path the paper streams over
+// flips bits for real; TCP's 16-bit checksum misses enough of them at
+// 100 Gbps rates that a payload CRC is the difference between a
+// quarantined chunk and a silently corrupt projection.
 const (
-	headerLen  = 17
+	headerLen  = 21
 	flagPacked = 1
 )
 
-func encodeHeader(c Chunk) []byte {
+// crcTable is shared by senders and receivers (CRC-32C, hardware
+// accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func encodeHeader(c Chunk, crc uint32) []byte {
 	h := make([]byte, headerLen)
 	binary.LittleEndian.PutUint64(h[0:], c.Seq)
 	binary.LittleEndian.PutUint32(h[8:], uint32(c.RawLen))
@@ -74,19 +88,20 @@ func encodeHeader(c Chunk) []byte {
 	if c.Packed {
 		h[16] = flagPacked
 	}
+	binary.LittleEndian.PutUint32(h[17:], crc)
 	return h
 }
 
-func decodeHeader(h []byte) (Chunk, error) {
+func decodeHeader(h []byte) (Chunk, uint32, error) {
 	if len(h) != headerLen {
-		return Chunk{}, fmt.Errorf("pipeline: header of %d bytes", len(h))
+		return Chunk{}, 0, fmt.Errorf("pipeline: header of %d bytes", len(h))
 	}
 	return Chunk{
 		Seq:    binary.LittleEndian.Uint64(h[0:]),
 		RawLen: int(binary.LittleEndian.Uint32(h[8:])),
 		Stream: binary.LittleEndian.Uint32(h[12:]),
 		Packed: h[16] == flagPacked,
-	}, nil
+	}, binary.LittleEndian.Uint32(h[17:]), nil
 }
 
 // pinFor maps a runtime placement onto host CPUs.
@@ -145,12 +160,23 @@ type SenderOptions struct {
 	MinPeers int
 	// HCDepth is the CodecHC chain-search depth (0 = default).
 	HCDepth int
-	// Metrics, when non-nil, receives "compress" and "send" meters.
+	// Metrics, when non-nil, receives "compress" and "send" meters plus
+	// the msgq failure counters (reconnects, resends, timeouts).
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, records per-worker operation spans.
 	Tracer *trace.Tracer
 	// QueueCap bounds the inter-stage queues (default 16).
 	QueueCap int
+	// SendHorizon bounds how long a send worker blocks while every
+	// peer is dead before the sender fails (0 = block until the stream
+	// is torn down — the legacy behaviour).
+	SendHorizon time.Duration
+	// WriteTimeout is the per-message write deadline (0 = none); a
+	// stalled peer costs one timeout instead of a wedged worker.
+	WriteTimeout time.Duration
+	// Dial overrides the transport dialer — the hook fault plans
+	// (faults.Injector.Dialer) attach to.
+	Dial func(addr string) (net.Conn, error)
 }
 
 // RunSender streams chunks from Source through the configured
@@ -182,6 +208,10 @@ func RunSender(opts SenderOptions) error {
 	compGroup, hasComp := opts.Cfg.Group(runtime.Compress)
 
 	push := msgq.NewPush()
+	push.SendHorizon = opts.SendHorizon
+	push.WriteTimeout = opts.WriteTimeout
+	push.Dial = opts.Dial
+	push.Counters = opts.Metrics
 	defer push.Close()
 	for _, peer := range opts.Peers {
 		push.Connect(peer)
@@ -298,7 +328,8 @@ func RunSender(opts SenderOptions) error {
 					return err
 				}
 				t0 := time.Now()
-				if err := push.Send(msgq.Message{encodeHeader(c), c.Data}); err != nil {
+				sum := crc32.Checksum(c.Data, crcTable)
+				if err := push.Send(msgq.Message{encodeHeader(c, sum), c.Data}); err != nil {
 					return fmt.Errorf("sending chunk %d: %w", c.Seq, err)
 				}
 				tracer.span("send", worker, t0, len(c.Data))
@@ -335,7 +366,8 @@ type ReceiverOptions struct {
 	// from multiple workers; nil discards.
 	Sink func(Chunk) error
 	// Metrics, when non-nil, receives "receive" and "decompress"
-	// meters.
+	// meters plus the failure counters (CtrQuarantined, CtrSeqGaps,
+	// CtrSeqLate).
 	Metrics *metrics.Registry
 	// Tracer, when non-nil, records per-worker operation spans.
 	Tracer *trace.Tracer
@@ -343,7 +375,35 @@ type ReceiverOptions struct {
 	QueueCap int
 	// Ready, when non-nil, receives the bound address once listening.
 	Ready chan<- string
+	// FailHard restores the legacy all-or-nothing behaviour: any
+	// malformed message or corrupt chunk aborts the whole node. The
+	// default is quarantine-and-count — a corrupt chunk is dropped,
+	// counted (CtrQuarantined) and the stream keeps flowing, because on
+	// a real WAN path one flipped bit must not kill a 200 Gbps stream.
+	FailHard bool
+	// MaxBadChunks aborts the receiver once more than this many chunks
+	// have been quarantined (0 = no limit). It bounds how long a
+	// systematically corrupting peer can burn receiver cycles.
+	MaxBadChunks int
+	// Listener, when non-nil, overrides Bind with an existing listener
+	// (fault-wrapped listeners; the receiver takes ownership).
+	Listener net.Listener
 }
+
+// Receiver-side failure counters recorded in ReceiverOptions.Metrics.
+const (
+	// CtrQuarantined counts chunks dropped instead of delivered:
+	// malformed message shape, undecodable header, payload CRC
+	// mismatch, or decompression failure.
+	CtrQuarantined = "chunks_quarantined"
+	// CtrSeqGaps counts sequence numbers skipped between consecutive
+	// delivered chunks of a stream — chunks lost or quarantined
+	// upstream of delivery.
+	CtrSeqGaps = "seq_gaps"
+	// CtrSeqLate counts chunks that arrived with a sequence number
+	// below the stream's high-water mark (reordered or duplicated).
+	CtrSeqLate = "seq_late"
+)
 
 // RunReceiver accepts chunks until Expect have been delivered, then
 // returns.
@@ -370,9 +430,15 @@ func RunReceiver(opts ReceiverOptions) error {
 	}
 	decGroup, hasDec := opts.Cfg.Group(runtime.Decompress)
 
-	pull, err := msgq.NewPull(opts.Bind)
-	if err != nil {
-		return err
+	var pull *msgq.Pull
+	if opts.Listener != nil {
+		pull = msgq.NewPullFromListener(opts.Listener)
+	} else {
+		var err error
+		pull, err = msgq.NewPull(opts.Bind)
+		if err != nil {
+			return err
+		}
 	}
 	defer pull.Close()
 	if opts.Ready != nil {
@@ -385,14 +451,26 @@ func RunReceiver(opts ReceiverOptions) error {
 		decQ = queue.New[Chunk](opts.QueueCap)
 	}
 
+	quarantinedCtr := opts.Metrics.Counter(CtrQuarantined)
+	gapCtr := opts.Metrics.Counter(CtrSeqGaps)
+	lateCtr := opts.Metrics.Counter(CtrSeqLate)
+
+	// Accounting, guarded by sinkMu. A chunk is accounted once it is
+	// either delivered or quarantined; with Expect set, the receiver is
+	// done when Expect chunks are accounted — a quarantined chunk must
+	// not leave the node waiting forever for a delivery that can never
+	// happen.
 	var sinkMu sync.Mutex
 	delivered := 0
+	quarantined := 0
+	nextSeq := make(map[uint32]uint64) // per-stream next expected sequence
 	done := make(chan struct{})
 	var doneOnce sync.Once
+	markDone := func() { doneOnce.Do(func() { close(done) }) }
 	deliver := func(c Chunk) error {
 		sinkMu.Lock()
 		defer sinkMu.Unlock()
-		if opts.Expect > 0 && delivered >= opts.Expect {
+		if opts.Expect > 0 && delivered+quarantined >= opts.Expect {
 			return nil
 		}
 		if opts.Sink != nil {
@@ -401,24 +479,66 @@ func RunReceiver(opts ReceiverOptions) error {
 			}
 		}
 		delivered++
-		if opts.Expect > 0 && delivered == opts.Expect {
-			doneOnce.Do(func() { close(done) })
+		// Sequence-gap accounting: a jump past the stream's expected
+		// sequence means chunks were lost or quarantined on the way; a
+		// regression is a late (reordered/duplicate) arrival. With
+		// several decompress workers minor reordering shows up as
+		// late counts, not data loss.
+		next, tracked := nextSeq[c.Stream]
+		switch {
+		case !tracked && c.Seq == 0, tracked && c.Seq == next:
+			nextSeq[c.Stream] = c.Seq + 1
+		case !tracked || c.Seq > next:
+			if tracked {
+				gapCtr.Add(int64(c.Seq - next))
+			} else {
+				gapCtr.Add(int64(c.Seq))
+			}
+			nextSeq[c.Stream] = c.Seq + 1
+		default:
+			lateCtr.Inc()
+		}
+		if opts.Expect > 0 && delivered+quarantined == opts.Expect {
+			markDone()
 		}
 		return nil
 	}
 	if opts.Stop != nil {
 		go func() {
 			<-opts.Stop
-			doneOnce.Do(func() { close(done) })
+			markDone()
 		}()
 	}
 	// A failing worker must stop the intake too, or healthy workers
 	// would wait forever on a stream that can no longer complete.
 	failStop := func(err error) error {
 		if err != nil {
-			doneOnce.Do(func() { close(done) })
+			markDone()
 		}
 		return err
+	}
+	// quarantine disposes of a chunk that cannot be delivered. The
+	// returned error is nil in quarantine mode (count and continue) and
+	// the original cause under FailHard or past the MaxBadChunks
+	// threshold, in which case the node aborts.
+	quarantine := func(cause error) error {
+		if opts.FailHard {
+			return failStop(cause)
+		}
+		quarantinedCtr.Inc()
+		sinkMu.Lock()
+		quarantined++
+		bad := quarantined
+		accounted := delivered + quarantined
+		sinkMu.Unlock()
+		if opts.MaxBadChunks > 0 && bad > opts.MaxBadChunks {
+			return failStop(fmt.Errorf("pipeline: %d chunks quarantined exceeds MaxBadChunks %d; last cause: %w",
+				bad, opts.MaxBadChunks, cause))
+		}
+		if opts.Expect > 0 && accounted >= opts.Expect {
+			markDone()
+		}
+		return nil
 	}
 
 	var pools []*Pool
@@ -455,11 +575,23 @@ func RunReceiver(opts ReceiverOptions) error {
 				}
 				t0 := time.Now()
 				if len(msg) != 2 {
-					return failStop(fmt.Errorf("pipeline: message with %d parts", len(msg)))
+					if err := quarantine(fmt.Errorf("pipeline: message with %d parts", len(msg))); err != nil {
+						return err
+					}
+					continue
 				}
-				c, err := decodeHeader(msg[0])
+				c, wantCRC, err := decodeHeader(msg[0])
 				if err != nil {
-					return failStop(err)
+					if err := quarantine(err); err != nil {
+						return err
+					}
+					continue
+				}
+				if sum := crc32.Checksum(msg[1], crcTable); sum != wantCRC {
+					if err := quarantine(fmt.Errorf("pipeline: chunk %d payload CRC %08x, want %08x", c.Seq, sum, wantCRC)); err != nil {
+						return err
+					}
+					continue
 				}
 				c.Data = msg[1]
 				tracer.span("receive", worker, t0, len(c.Data))
@@ -496,7 +628,10 @@ func RunReceiver(opts ReceiverOptions) error {
 				if c.Packed {
 					raw, err := lz4.Decompress(c.Data, c.RawLen)
 					if err != nil {
-						return failStop(fmt.Errorf("decompressing chunk %d: %w", c.Seq, err))
+						if err := quarantine(fmt.Errorf("decompressing chunk %d: %w", c.Seq, err)); err != nil {
+							return err
+						}
+						continue
 					}
 					c.Data = raw
 					c.Packed = false
@@ -510,14 +645,15 @@ func RunReceiver(opts ReceiverOptions) error {
 		}))
 	}
 
-	// Stop the intake once the expected chunks have been delivered;
-	// this unblocks workers waiting in Recv.
+	// Stop the intake once the expected chunks have been accounted for;
+	// this unblocks workers waiting in Recv. Only the pull socket closes
+	// here: the decompress queue stays open so chunks already pulled off
+	// the wire drain through decompress and delivery (graceful drain).
+	// The receive workers close decQ themselves once the last of them
+	// exits.
 	go func() {
 		<-done
 		pull.Close()
-		if decQ != nil {
-			decQ.Close()
-		}
 	}()
 
 	var firstErr error
@@ -531,8 +667,9 @@ func RunReceiver(opts ReceiverOptions) error {
 	}
 	sinkMu.Lock()
 	defer sinkMu.Unlock()
-	if opts.Expect > 0 && delivered < opts.Expect {
-		return fmt.Errorf("pipeline: delivered %d of %d expected chunks", delivered, opts.Expect)
+	if opts.Expect > 0 && delivered+quarantined < opts.Expect {
+		return fmt.Errorf("pipeline: accounted for %d of %d expected chunks (%d delivered, %d quarantined)",
+			delivered+quarantined, opts.Expect, delivered, quarantined)
 	}
 	return nil
 }

@@ -264,15 +264,19 @@ func TestRunReceiverValidation(t *testing.T) {
 }
 
 func TestHeaderRoundTrip(t *testing.T) {
-	c := Chunk{Seq: 12345678901, RawLen: 11059200, Packed: true}
-	got, err := decodeHeader(encodeHeader(c))
+	c := Chunk{Seq: 12345678901, Stream: 7, RawLen: 11059200, Packed: true}
+	const crc = 0xdeadbeef
+	got, gotCRC, err := decodeHeader(encodeHeader(c, crc))
 	if err != nil {
 		t.Fatalf("decodeHeader: %v", err)
 	}
-	if got.Seq != c.Seq || got.RawLen != c.RawLen || got.Packed != c.Packed {
+	if got.Seq != c.Seq || got.Stream != c.Stream || got.RawLen != c.RawLen || got.Packed != c.Packed {
 		t.Fatalf("round trip = %+v, want %+v", got, c)
 	}
-	if _, err := decodeHeader([]byte{1, 2, 3}); err == nil {
+	if gotCRC != crc {
+		t.Fatalf("crc round trip = %08x, want %08x", gotCRC, crc)
+	}
+	if _, _, err := decodeHeader([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short header accepted")
 	}
 }

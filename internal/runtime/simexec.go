@@ -107,6 +107,11 @@ type Stream struct {
 	ReceiverCfg NodeConfig
 	Path        *netsim.Path
 
+	// OnDeliver, when non-nil, observes every delivered chunk with its
+	// virtual delivery time and raw/wire sizes — the hook the degraded-
+	// mode harness uses to bucket throughput over time.
+	OnDeliver func(t, raw, wire float64)
+
 	// Results, valid after Runner.Run.
 	Delivered     int
 	WarmTime      float64 // when the warm-up chunks had been delivered
@@ -357,6 +362,9 @@ func (r *Runner) build(st *Stream) error {
 		st.Delivered++
 		st.rawDelivered += c.raw
 		st.wireDelivered += c.wire
+		if st.OnDeliver != nil {
+			st.OnDeliver(eng.Now(), c.raw, c.wire)
+		}
 		if st.Delivered == warmChunks {
 			st.WarmTime = eng.Now()
 			st.warmRaw = st.rawDelivered
