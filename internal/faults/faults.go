@@ -19,7 +19,6 @@
 package faults
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -63,10 +62,20 @@ func (k Kind) String() string {
 // payload-sized write so the flipped bit hits data, not framing.
 const CorruptMinLen = 64
 
+// injectedReset is the concrete type behind ErrInjectedReset. It is a
+// zero-size comparable value so errors.Is against the sentinel works,
+// and it implements net.Error so transports that classify failures via
+// errors.As(err, &netErr) see a non-timeout peer failure.
+type injectedReset struct{}
+
+func (injectedReset) Error() string   { return "faults: injected connection reset" }
+func (injectedReset) Timeout() bool   { return false }
+func (injectedReset) Temporary() bool { return false }
+
 // ErrInjectedReset is returned by writes on a connection an injector has
 // reset. It satisfies net.Error (non-timeout) so transports treat it
 // like any other peer failure.
-var ErrInjectedReset = errors.New("faults: injected connection reset")
+var ErrInjectedReset net.Error = injectedReset{}
 
 // Fault is one scheduled connection-level event. Triggers are cumulative
 // across every connection the injector wraps, so a plan keeps its place
@@ -92,8 +101,10 @@ type AcceptWindow struct {
 type Plan struct {
 	// Seed drives the injector's RNG (unpinned corrupt-bit offsets).
 	Seed int64
-	// Faults are connection-level events, evaluated in order; at most
-	// one fires per write.
+	// Faults are connection-level events, evaluated and fired in
+	// declared order; at most one fires per write, and a Corrupt fault
+	// deferred by CorruptMinLen holds back the faults scheduled after it
+	// until it fires.
 	Faults []Fault
 	// Refuse are listener restart windows.
 	Refuse []AcceptWindow
@@ -197,7 +208,10 @@ func (in *Injector) beforeWrite(n int) action {
 			continue
 		}
 		if f.Kind == Corrupt && n < CorruptMinLen {
-			continue // defer to the next payload-sized write
+			// Defer to the next payload-sized write — and stop scanning,
+			// so a later-scheduled fault cannot fire ahead of this one:
+			// plan faults always execute in their declared order.
+			break
 		}
 		in.fired[i] = true
 		switch f.Kind {

@@ -116,10 +116,17 @@ func readMessage(r io.Reader) (Message, error) {
 // pushConn pairs a connection with a write lock so concurrent Send
 // calls sharing one socket never interleave frames on the wire. gone is
 // closed exactly once, by whichever of drop/Close removes the
-// connection, and wakes the endpoint's maintainer to redial.
+// connection, and wakes the endpoint's maintainer to redial. broken is
+// guarded by writeMu: the Send that sees a write error sets it (and
+// closes the conn) before releasing the lock, so a concurrent Send that
+// was queued behind it can never write a frame onto a byte stream left
+// misaligned by the partial one — such a write could land in the kernel
+// buffer (appearing to succeed) while the receiver discards it as a
+// framing error, i.e. silent loss.
 type pushConn struct {
 	conn    net.Conn
 	writeMu sync.Mutex
+	broken  bool
 	gone    chan struct{}
 }
 
@@ -325,7 +332,12 @@ func (p *Push) WaitLiveTimeout(n int, d time.Duration) error {
 // Send writes msg to the next live connection (round robin), blocking
 // while none are available. A connection that fails is dropped and the
 // message retried on another or after the background redial; the message
-// is never silently lost unless the socket closes. With SendHorizon set,
+// is never silently lost unless the socket closes. Delivery is
+// at-least-once, not exactly-once: a write that errors after the frame
+// was already fully buffered (e.g. a WriteTimeout racing completion, or
+// a reset observed on the deadline-clearing path) is retried whole on
+// another connection, so the receiver can see a duplicate — pipeline
+// sequence accounting (CtrSeqLate) surfaces these. With SendHorizon set,
 // Send instead fails (wrapping ErrNoPeers) once every peer has stayed
 // dead for that long — the bounded-unavailability contract the streaming
 // pipeline needs to abort cleanly instead of wedging a worker forever.
@@ -378,12 +390,26 @@ func (p *Push) Send(msg Message) error {
 		p.mu.Unlock()
 
 		pc.writeMu.Lock()
+		if pc.broken {
+			// A previous Send failed mid-frame on this connection; it is
+			// already being dropped. Never write after a partial frame.
+			pc.writeMu.Unlock()
+			p.drop(pc)
+			continue
+		}
 		if p.WriteTimeout > 0 {
 			pc.conn.SetWriteDeadline(time.Now().Add(p.WriteTimeout))
 		}
 		err := writeMessage(pc.conn, msg)
 		if p.WriteTimeout > 0 {
 			pc.conn.SetWriteDeadline(time.Time{})
+		}
+		if err != nil {
+			// Poison under writeMu (and close, so nothing already queued
+			// in the kernel path can sneak out) before any waiting Send
+			// can acquire the lock.
+			pc.broken = true
+			pc.conn.Close()
 		}
 		pc.writeMu.Unlock()
 		if err == nil {

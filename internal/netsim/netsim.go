@@ -22,9 +22,8 @@ type Link struct {
 	RTT float64 // seconds, end to end
 
 	sched      faults.LinkSchedule
-	faultFree  float64 // FIFO freeAt on the faulted timeline
 	faultDelay float64 // cumulative extra service time faults added
-	faultBytes float64 // bytes served through the faulted timeline
+	faultBytes float64 // bytes served while a fault schedule was installed
 }
 
 // NewLink returns a link with the given capacity (bytes/s) and RTT.
@@ -53,16 +52,20 @@ func (l *Link) FaultDelay() float64 { return l.faultDelay }
 // Acquire reserves link capacity for one message and returns its
 // completion time. Without a fault schedule this is the plain FIFO
 // server; with one, service time is stretched across outage and
-// degraded-capacity windows.
+// degraded-capacity windows. Either way the reservation lives on the
+// Server's single FIFO timeline (the stretched tail is pushed back in
+// via Occupy), so a schedule installed or cleared mid-run can never
+// double-book capacity already reserved before the switch.
 func (l *Link) Acquire(now, bytes float64) float64 {
+	nominal := l.Srv.Acquire(now, bytes)
 	if l.sched == nil {
-		return l.Srv.Acquire(now, bytes)
+		return nominal
 	}
-	start := math.Max(now, l.faultFree)
 	d := bytes / l.Srv.Rate()
+	start := nominal - d // the FIFO start the server granted
 	end := l.sched.Stretch(start, d)
-	l.faultFree = end
-	l.faultDelay += end - (start + d)
+	l.Srv.Occupy(end)
+	l.faultDelay += end - nominal
 	l.faultBytes += bytes
 	return end
 }

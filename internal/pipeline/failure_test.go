@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"numastream/internal/faults"
 	"numastream/internal/metrics"
@@ -148,6 +149,41 @@ func TestReceiverMaxBadChunksAborts(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "MaxBadChunks") {
 		t.Fatalf("error does not identify the threshold: %v", err)
+	}
+}
+
+// TestReceiverDecompressAbortUnblocksReceivers is the regression test
+// for a shutdown wedge: when the decompress stage aborts (MaxBadChunks
+// here), receive workers may be blocked in decQ.Put on a full queue —
+// pull.Close only wakes workers parked in Recv, so unless the abort
+// path also closes decQ, RunReceiver hangs forever in Pool.Wait. A
+// QueueCap of 1 plus a burst of corrupt-LZ4 chunks forces the blocked
+// producer; the receiver must still return the threshold error.
+func TestReceiverDecompressAbortUnblocksReceivers(t *testing.T) {
+	addr, _, done := startReceiver(t, 1, 64, func(o *ReceiverOptions) {
+		o.QueueCap = 1
+		o.MaxBadChunks = 1
+	})
+	push := msgq.NewPush()
+	push.SendHorizon = 2 * time.Second
+	t.Cleanup(func() { push.Close() })
+	push.Connect(addr)
+
+	// Every chunk passes the wire CRC and dies in decompress: the second
+	// crosses MaxBadChunks and aborts that stage while later chunks are
+	// still piling into the cap-1 queue.
+	for i := 0; i < 16; i++ {
+		if err := push.Send(corruptLZ4Message()); err != nil {
+			break // receiver already aborted and tore the socket down
+		}
+	}
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "MaxBadChunks") {
+			t.Fatalf("RunReceiver = %v, want MaxBadChunks abort", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunReceiver wedged: receive worker stuck in decQ.Put after the decompress stage aborted")
 	}
 }
 

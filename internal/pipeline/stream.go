@@ -510,10 +510,20 @@ func RunReceiver(opts ReceiverOptions) error {
 		}()
 	}
 	// A failing worker must stop the intake too, or healthy workers
-	// would wait forever on a stream that can no longer complete.
+	// would wait forever on a stream that can no longer complete. It must
+	// also close decQ: pull.Close only wakes workers blocked in Recv, so
+	// without this a receive worker parked in decQ.Put on a full queue
+	// would wedge forever when the decompress stage aborts (FailHard,
+	// MaxBadChunks, a Sink error) — exactly the corrupt-peer scenario the
+	// thresholds are meant to bound. The clean path never comes through
+	// here, so drain-on-success is unaffected: there decQ closes only
+	// after the last receive worker exits.
 	failStop := func(err error) error {
 		if err != nil {
 			markDone()
+			if decQ != nil {
+				decQ.Close()
+			}
 		}
 		return err
 	}
@@ -650,7 +660,7 @@ func RunReceiver(opts ReceiverOptions) error {
 	// here: the decompress queue stays open so chunks already pulled off
 	// the wire drain through decompress and delivery (graceful drain).
 	// The receive workers close decQ themselves once the last of them
-	// exits.
+	// exits (on an abort, failStop closes it immediately instead).
 	go func() {
 		<-done
 		pull.Close()

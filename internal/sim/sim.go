@@ -143,6 +143,18 @@ func (s *Server) Acquire(now, amount float64) float64 {
 // FreeAt returns the time at which the server becomes idle.
 func (s *Server) FreeAt() float64 { return s.freeAt }
 
+// Occupy extends the server's FIFO reservation timeline through `until`
+// (a no-op if the server is already reserved past it) without accruing
+// served units or busy time. Wrappers that stretch a reservation they
+// just Acquired — netsim's fault-scheduled links — use it to keep the
+// extra occupancy on the server's single timeline, so later requests
+// cannot double-book the stretched interval.
+func (s *Server) Occupy(until float64) {
+	if until > s.freeAt {
+		s.freeAt = until
+	}
+}
+
 // Served returns total units served.
 func (s *Server) Served() float64 { return s.served }
 
