@@ -14,11 +14,12 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrent transport/pipeline paths
-# (reconnect, send horizons, quarantine accounting, queues).
+# (reconnect, send horizons, quarantine accounting, queues) and the
+# telemetry layer (histograms, sampler, live endpoint).
 race:
-	$(GO) vet ./...
-	$(GO) test -race ./internal/faults/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/...
+	$(GO) test -race ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/...
 
+# The single CI entry point: build, vet, tests, race pass.
 check: build vet test race
 
 bench:

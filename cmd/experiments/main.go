@@ -18,6 +18,8 @@ import (
 	"strings"
 
 	"numastream/internal/experiments"
+	"numastream/internal/metrics"
+	"numastream/internal/telemetry"
 )
 
 type figList []string
@@ -38,6 +40,7 @@ func main() {
 	dualNIC := flag.Bool("dual-nic", false, "run the dual-NIC gateway study (extension)")
 	degraded := flag.Bool("degraded", false, "run the degraded-mode link fault simulation (robustness)")
 	degradedReal := flag.Bool("degraded-real", false, "run the real-mode fault injection loopback (robustness)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; real-mode harnesses record into the served registry")
 	flag.Var(&figs, "fig", "figure to regenerate (5,6,7,8,9,11,12,14 or all); repeatable")
 	flag.Parse()
 
@@ -58,6 +61,19 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+
+	// The live registry: nil unless -telemetry-addr is set, in which case
+	// the real-mode harnesses share it so the endpoint shows them mid-run.
+	var reg *metrics.Registry
+	if *telemetryAddr != "" {
+		reg = metrics.NewRegistry()
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
 
 	// writeCSV writes one figure's CSV when -csv is set.
@@ -179,7 +195,7 @@ func main() {
 		if *quick {
 			chunks, chunkBytes = 32, 128<<10
 		}
-		res, err := experiments.DegradedLoopback(chunks, chunkBytes)
+		res, err := experiments.DegradedLoopbackInto(reg, chunks, chunkBytes)
 		if err != nil {
 			fail(err)
 		}

@@ -26,6 +26,7 @@ import (
 	"numastream/internal/numa"
 	"numastream/internal/pipeline"
 	"numastream/internal/runtime"
+	"numastream/internal/telemetry"
 	"numastream/internal/tomo"
 	"numastream/internal/trace"
 )
@@ -40,6 +41,11 @@ func main() {
 		synthetic  = flag.Bool("synthetic", false, "use patterned chunks instead of tomography projections")
 		serve      = flag.Bool("serve", false, "receiver: serve until interrupted instead of expecting -chunks")
 		tracePath  = flag.String("trace", "", "write a Chrome trace of this node's workers to the file")
+
+		// Telemetry (the flight recorder).
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the node runs")
+		timelinePath  = flag.String("timeline", "", "sample all metrics periodically and write the timeline here at exit (.csv for CSV, else JSON)")
+		sampleEvery   = flag.Duration("sample-interval", 250*time.Millisecond, "timeline sampling interval")
 
 		// Robustness (sender).
 		sendHorizon  = flag.Duration("send-horizon", 0, "sender: fail sends after all peers stay dead this long (0 = wait forever)")
@@ -77,6 +83,19 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
+	if *telemetryAddr != "" {
+		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	var sampler *metrics.Sampler
+	if *timelinePath != "" {
+		sampler = metrics.NewSampler(reg, *sampleEvery, 1<<16)
+		sampler.Start()
+	}
 	var tracer *trace.Tracer
 	if *tracePath != "" {
 		tracer = trace.New(1 << 20)
@@ -142,6 +161,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if sampler != nil {
+		sampler.Stop()
+		f, err := os.Create(*timelinePath)
+		if err != nil {
+			fatal(err)
+		}
+		tl := sampler.Timeline()
+		if strings.HasSuffix(*timelinePath, ".csv") {
+			err = tl.WriteCSV(f)
+		} else {
+			err = tl.WriteJSON(f)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timeline (%d samples, %d evicted) written to %s\n", tl.Len(), tl.Dropped(), *timelinePath)
+	}
 	if tracer != nil {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -153,7 +192,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trace (%d events) written to %s\n", tracer.Len(), *tracePath)
+		fmt.Printf("trace (%d events, %d dropped) written to %s\n", tracer.Len(), tracer.Dropped(), *tracePath)
 	}
 	fmt.Printf("%s %q done:\n%s", cfg.Role, cfg.Node, reg.String())
 }

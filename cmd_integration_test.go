@@ -1,13 +1,18 @@
 package numastream_test
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Integration tests for the command-line tools: build each binary once
@@ -145,6 +150,105 @@ func TestCLIStreamingPair(t *testing.T) {
 	}
 	if !strings.Contains(out, `receiver "gw" done`) || !strings.Contains(out, "4 items") {
 		t.Fatalf("receiver output:\n%s", out)
+	}
+}
+
+// promSample matches one Prometheus text-exposition sample line.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+
+func TestCLITelemetryEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	rcvCfg := filepath.Join(dir, "rcv.json")
+	sndCfg := filepath.Join(dir, "snd.json")
+	timeline := filepath.Join(dir, "timeline.json")
+	os.WriteFile(rcvCfg, []byte(run(t, "confgen", "-role", "receiver", "-node", "gw",
+		"-sockets", "1", "-cores", "1", "-nic-socket", "0", "-compression")), 0o644)
+	os.WriteFile(sndCfg, []byte(run(t, "confgen", "-role", "sender", "-node", "src",
+		"-sockets", "1", "-cores", "1", "-nic-socket", "0", "-compression")), 0o644)
+
+	// Fixed ports, distinct from TestCLIStreamingPair's 19773.
+	const streamAddr = "127.0.0.1:19774"
+	const telemetryAddr = "127.0.0.1:19775"
+
+	var rcvOut bytes.Buffer
+	rcv := exec.Command(filepath.Join(buildTools(t), "numastream"),
+		"-config", rcvCfg, "-bind", streamAddr, "-serve", "-scale", "16", "-synthetic",
+		"-telemetry-addr", telemetryAddr,
+		"-timeline", timeline, "-sample-interval", "20ms")
+	rcv.Stdout = &rcvOut
+	rcv.Stderr = &rcvOut
+	if err := rcv.Start(); err != nil {
+		t.Fatalf("starting receiver: %v", err)
+	}
+	defer rcv.Process.Kill()
+
+	// Wait for the telemetry endpoint to come up.
+	scrape := func() (string, error) {
+		resp, err := http.Get("http://" + telemetryAddr + "/metrics")
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+	var page string
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		page, err = scrape()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("telemetry endpoint never came up: %v\nreceiver output:\n%s", err, rcvOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Stream a few chunks through, then scrape again: receive-side
+	// series must be live and the whole page must parse.
+	run(t, "numastream",
+		"-config", sndCfg, "-peers", streamAddr, "-chunks", "4", "-scale", "16", "-synthetic")
+	page, err = scrape()
+	if err != nil {
+		t.Fatalf("scrape after stream: %v", err)
+	}
+	if !strings.Contains(page, "numastream_receive_bytes_total") {
+		t.Fatalf("/metrics lacks the receive meter:\n%s", page)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(page), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("unparseable exposition line %q in:\n%s", line, page)
+		}
+	}
+
+	// SIGINT drains the receiver; it must exit cleanly and dump the
+	// timeline.
+	if err := rcv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("interrupting receiver: %v", err)
+	}
+	if err := rcv.Wait(); err != nil {
+		t.Fatalf("receiver exit: %v\n%s", err, rcvOut.String())
+	}
+	if !strings.Contains(rcvOut.String(), `receiver "gw" done`) {
+		t.Fatalf("receiver output:\n%s", rcvOut.String())
+	}
+	data, err := os.ReadFile(timeline)
+	if err != nil {
+		t.Fatalf("timeline dump: %v", err)
+	}
+	var dump struct {
+		Points []map[string]any `json:"points"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if len(dump.Points) == 0 {
+		t.Fatal("timeline dump has no samples")
 	}
 }
 

@@ -32,11 +32,12 @@ const DegradedBuckets = 24
 // DegradedSimResult is one simulated degraded-mode run.
 type DegradedSimResult struct {
 	Schedule   faults.LinkSchedule
-	BaseFinish float64   // healthy finish time (schedule derived from it)
-	Finish     float64   // faulted finish time
-	FaultDelay float64   // extra link service time the faults inflicted
-	BucketSecs float64   // width of each throughput bucket
-	Gbps       []float64 // raw-delivery throughput per bucket
+	BaseFinish float64           // healthy finish time (schedule derived from it)
+	Finish     float64           // faulted finish time
+	FaultDelay float64           // extra link service time the faults inflicted
+	Timeline   *metrics.Timeline // per-delivery cumulative raw bytes ("delivered")
+	BucketSecs float64           // width of each throughput bucket
+	Gbps       []float64         // raw-delivery throughput per bucket
 }
 
 // DegradedSim runs a single updraft→lynxdtn stream twice: once healthy
@@ -67,12 +68,19 @@ func DegradedSim() (DegradedSimResult, error) {
 }
 
 // DegradedSimWithSchedule runs the faulted stream under an explicit link
-// fault schedule.
+// fault schedule. The dip-and-recovery curve is recorded as a
+// metrics.Timeline of cumulative delivered bytes on virtual time and
+// bucketed by Timeline.RateGbps — the same machinery real-mode runs
+// sample their registries into.
 func DegradedSimWithSchedule(sched faults.LinkSchedule) (DegradedSimResult, error) {
-	type arrival struct{ t, raw float64 }
-	var arrivals []arrival
-	st, err := runDegradedCell(sched, func(t, raw, wire float64) {
-		arrivals = append(arrivals, arrival{t, raw})
+	tl := metrics.NewTimeline(4096)
+	raw := int64(0)
+	st, err := runDegradedCell(sched, func(t, r, wire float64) {
+		raw += int64(r)
+		tl.Append(metrics.TimelinePoint{
+			T:      t,
+			Meters: map[string]metrics.MeterSample{"delivered": {Bytes: raw}},
+		})
 	})
 	if err != nil {
 		return DegradedSimResult{}, err
@@ -81,22 +89,9 @@ func DegradedSimWithSchedule(sched faults.LinkSchedule) (DegradedSimResult, erro
 		Schedule:   sched,
 		Finish:     st.FinishTime,
 		FaultDelay: st.Path.Link().FaultDelay(),
-		Gbps:       make([]float64, DegradedBuckets),
+		Timeline:   tl,
 	}
-	res.BucketSecs = st.FinishTime / DegradedBuckets
-	if res.BucketSecs <= 0 {
-		return res, nil
-	}
-	for _, a := range arrivals {
-		b := int(a.t / res.BucketSecs)
-		if b >= DegradedBuckets {
-			b = DegradedBuckets - 1
-		}
-		res.Gbps[b] += a.raw
-	}
-	for i := range res.Gbps {
-		res.Gbps[i] = hw.Gbps(res.Gbps[i] / res.BucketSecs)
-	}
+	res.BucketSecs, res.Gbps = tl.RateGbps("delivered", DegradedBuckets)
 	return res, nil
 }
 
@@ -197,6 +192,7 @@ type DegradedRealResult struct {
 	SeqGaps     int64
 	Faults      faults.Stats
 	E2EGbps     float64
+	Timeline    *metrics.Timeline // sampled registry state over the run
 	BucketSecs  float64
 	Gbps        []float64 // wall-clock delivery rate per bucket (raw bytes)
 }
@@ -208,8 +204,20 @@ type DegradedRealResult struct {
 // caught by its CRC and quarantined, and the run completes with exact
 // accounting: delivered = chunks - 1, quarantined = 1.
 func DegradedLoopback(chunks, chunkBytes int) (DegradedRealResult, error) {
+	return DegradedLoopbackInto(nil, chunks, chunkBytes)
+}
+
+// DegradedLoopbackInto is DegradedLoopback recording into a shared
+// registry (nil allocates a private one). Both node roles share reg —
+// their meter and counter names are disjoint — so a telemetry server
+// attached to reg (cmd/experiments -telemetry-addr) watches the whole
+// degraded run live.
+func DegradedLoopbackInto(reg *metrics.Registry, chunks, chunkBytes int) (DegradedRealResult, error) {
 	if chunks < 8 || chunkBytes < faults.CorruptMinLen {
 		return DegradedRealResult{}, fmt.Errorf("experiments: degraded run needs >= 8 chunks and >= %d-byte chunks", faults.CorruptMinLen)
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
 	}
 	topo, _ := hostnuma.Discover()
 
@@ -249,28 +257,21 @@ func DegradedLoopback(chunks, chunkBytes int) (DegradedRealResult, error) {
 	copy(payload[chunkBytes/2:], bytes.Repeat([]byte{0x11, 0x11, 0x22, 0x22}, chunkBytes/8+1)[:chunkBytes-chunkBytes/2])
 
 	ready := make(chan string, 1)
-	recvReg := metrics.NewRegistry()
-	sndReg := metrics.NewRegistry()
 	recvErr := make(chan error, 1)
-	start := time.Now()
 	var mu sync.Mutex
 	delivered := 0
-	var arrivals []struct {
-		t   float64
-		raw int
-	}
+	// The dip-and-recovery curve: a Sampler snapshots the shared
+	// registry every 2ms into a Timeline; the "decompress" meter's
+	// cumulative bytes resample into the bucketed rate below. This is
+	// the reusable path any run can take — no private accumulation.
+	sampler := metrics.NewSampler(reg, 2*time.Millisecond, 1<<14)
+	sampler.Start()
 	go func() {
 		recvErr <- pipeline.RunReceiver(pipeline.ReceiverOptions{
 			Cfg: rCfg, Topo: topo, Bind: "127.0.0.1:0",
-			Expect: chunks, Ready: ready, Metrics: recvReg,
+			Expect: chunks, Ready: ready, Metrics: reg,
 			Sink: func(c pipeline.Chunk) error {
 				delivered++ // sinkMu-serialized by the receiver
-				mu.Lock()
-				arrivals = append(arrivals, struct {
-					t   float64
-					raw int
-				}{time.Since(start).Seconds(), c.RawLen})
-				mu.Unlock()
 				return nil
 			},
 		})
@@ -279,7 +280,7 @@ func DegradedLoopback(chunks, chunkBytes int) (DegradedRealResult, error) {
 
 	sent := 0
 	if err := pipeline.RunSender(pipeline.SenderOptions{
-		Cfg: sCfg, Topo: topo, Peers: []string{addr}, Metrics: sndReg,
+		Cfg: sCfg, Topo: topo, Peers: []string{addr}, Metrics: reg,
 		Dial:        inj.Dialer(nil),
 		SendHorizon: 10 * time.Second,
 		Source: func() []byte {
@@ -292,41 +293,31 @@ func DegradedLoopback(chunks, chunkBytes int) (DegradedRealResult, error) {
 			return payload
 		},
 	}); err != nil {
+		sampler.Stop()
 		return DegradedRealResult{}, fmt.Errorf("degraded sender: %w", err)
 	}
 	if err := <-recvErr; err != nil {
+		sampler.Stop()
 		return DegradedRealResult{}, fmt.Errorf("degraded receiver: %w", err)
 	}
+	sampler.Stop()
 
 	res := DegradedRealResult{
 		Chunks:      chunks,
 		Delivered:   delivered,
-		Quarantined: recvReg.CounterValue(pipeline.CtrQuarantined),
-		Redials:     sndReg.CounterValue(msgq.CtrRedials),
-		Resends:     sndReg.CounterValue(msgq.CtrResends),
-		SeqGaps:     recvReg.CounterValue(pipeline.CtrSeqGaps),
+		Quarantined: reg.CounterValue(pipeline.CtrQuarantined),
+		Redials:     reg.CounterValue(msgq.CtrRedials),
+		Resends:     reg.CounterValue(msgq.CtrResends),
+		SeqGaps:     reg.CounterValue(pipeline.CtrSeqGaps),
 		Faults:      inj.Stats(),
-		Gbps:        make([]float64, DegradedBuckets),
+		Timeline:    sampler.Timeline(),
 	}
-	for _, s := range recvReg.Snapshots() {
+	for _, s := range reg.Snapshots() {
 		if s.Name == "decompress" {
 			res.E2EGbps = s.Gbps
 		}
 	}
-	elapsed := time.Since(start).Seconds()
-	res.BucketSecs = elapsed / DegradedBuckets
-	if res.BucketSecs > 0 {
-		for _, a := range arrivals {
-			b := int(a.t / res.BucketSecs)
-			if b >= DegradedBuckets {
-				b = DegradedBuckets - 1
-			}
-			res.Gbps[b] += float64(a.raw)
-		}
-		for i := range res.Gbps {
-			res.Gbps[i] = res.Gbps[i] * 8 / 1e9 / res.BucketSecs
-		}
-	}
+	res.BucketSecs, res.Gbps = res.Timeline.RateGbps("decompress", DegradedBuckets)
 	return res, nil
 }
 

@@ -1,11 +1,14 @@
 // Package metrics provides lightweight counters for the real-execution
-// mode of the runtime: byte/chunk throughput meters and per-stage
-// aggregation. (The simulator side gets its metrics from hw.CoreStats;
-// this package is for goroutine pipelines where wall-clock time rules.)
+// mode of the runtime: byte/chunk throughput meters, event counters,
+// gauges, log-scale latency histograms and a periodic sampler that turns
+// a registry into a timestamped timeline. (The simulator side gets its
+// metrics from hw.CoreStats; this package is for goroutine pipelines
+// where wall-clock time rules.)
 package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -13,26 +16,40 @@ import (
 )
 
 // Meter counts bytes and items and derives rates over wall-clock time.
-// All methods are safe for concurrent use.
+// The rate window opens lazily at the first recorded byte — not at
+// construction — so a meter created early (registry first-use, worker
+// warm-up, a receiver waiting for its peer to dial) does not dilute the
+// rate with idle preamble. All methods are safe for concurrent use.
 type Meter struct {
-	start time.Time
-	bytes atomic.Int64
-	items atomic.Int64
+	startNanos atomic.Int64 // unix nanos of the first Add/AddBytes; 0 = untouched
+	bytes      atomic.Int64
+	items      atomic.Int64
 }
 
-// NewMeter returns a meter whose clock starts now.
+// NewMeter returns a meter. Its clock starts at the first recorded byte.
 func NewMeter() *Meter {
-	return &Meter{start: time.Now()}
+	return &Meter{}
+}
+
+// touch opens the rate window if this is the first recorded value.
+func (m *Meter) touch() {
+	if m.startNanos.Load() == 0 {
+		m.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	}
 }
 
 // Add records n bytes of one item.
 func (m *Meter) Add(n int) {
+	m.touch()
 	m.bytes.Add(int64(n))
 	m.items.Add(1)
 }
 
 // AddBytes records n bytes without an item.
-func (m *Meter) AddBytes(n int) { m.bytes.Add(int64(n)) }
+func (m *Meter) AddBytes(n int) {
+	m.touch()
+	m.bytes.Add(int64(n))
+}
 
 // Bytes returns the total recorded bytes.
 func (m *Meter) Bytes() int64 { return m.bytes.Load() }
@@ -40,10 +57,18 @@ func (m *Meter) Bytes() int64 { return m.bytes.Load() }
 // Items returns the total recorded items.
 func (m *Meter) Items() int64 { return m.items.Load() }
 
-// Elapsed returns time since the meter started.
-func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }
+// Elapsed returns time since the first recorded byte, zero if nothing
+// was recorded yet.
+func (m *Meter) Elapsed() time.Duration {
+	s := m.startNanos.Load()
+	if s == 0 {
+		return 0
+	}
+	return time.Duration(time.Now().UnixNano() - s)
+}
 
-// Rate returns bytes/second since start.
+// Rate returns bytes/second over the window since the first recorded
+// byte.
 func (m *Meter) Rate() float64 {
 	el := m.Elapsed().Seconds()
 	if el <= 0 {
@@ -87,18 +112,54 @@ type CounterSnapshot struct {
 	Value int64
 }
 
-// Registry groups named meters and counters for a pipeline run.
+// Gauge is a named instantaneous value — a queue depth, a live-peer
+// count, a high-water mark. Unlike a Counter it can move both ways.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeSnapshot is a point-in-time view of one gauge.
+type GaugeSnapshot struct {
+	Name  string
+	Value float64
+}
+
+// Registry groups named meters, counters, gauges and histograms for a
+// pipeline run.
 type Registry struct {
-	mu       sync.Mutex
-	meters   map[string]*Meter
-	counters map[string]*Counter
+	mu         sync.Mutex
+	meters     map[string]*Meter
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		meters:   make(map[string]*Meter),
-		counters: make(map[string]*Counter),
+		meters:     make(map[string]*Meter),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		hists:      make(map[string]*Histogram),
 	}
 }
 
@@ -126,6 +187,40 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterGauge installs a callback gauge: fn is polled at snapshot and
+// sample time. Queue depths use this so the registry always reflects the
+// live value without anyone pushing updates. Re-registering a name
+// replaces the callback (a fresh pipeline run over a reused registry).
+func (r *Registry) RegisterGauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
 // CounterValue returns the named counter's value, zero if it was never
 // created — so callers can assert on counters a run may not have touched.
 func (r *Registry) CounterValue(name string) int64 {
@@ -150,6 +245,49 @@ func (r *Registry) CounterSnapshots() []CounterSnapshot {
 	return out
 }
 
+// GaugeSnapshots returns all gauges — set-style and callback — sorted by
+// name. Callback gauges are polled outside the registry lock so a
+// callback that takes another lock (queue stats) cannot deadlock with a
+// concurrent registry call.
+func (r *Registry) GaugeSnapshots() []GaugeSnapshot {
+	r.mu.Lock()
+	out := make([]GaugeSnapshot, 0, len(r.gauges)+len(r.gaugeFuncs))
+	for name, g := range r.gauges {
+		out = append(out, GaugeSnapshot{Name: name, Value: g.Value()})
+	}
+	funcs := make([]GaugeSnapshot, 0, len(r.gaugeFuncs))
+	fns := make([]func() float64, 0, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		funcs = append(funcs, GaugeSnapshot{Name: name})
+		fns = append(fns, fn)
+	}
+	r.mu.Unlock()
+	for i, fn := range fns {
+		funcs[i].Value = fn()
+	}
+	out = append(out, funcs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HistogramSnapshots returns all histograms' snapshots sorted by name.
+func (r *Registry) HistogramSnapshots() []HistogramSnapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.hists))
+	hists := make([]*Histogram, 0, len(r.hists))
+	for name, h := range r.hists {
+		names = append(names, name)
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	out := make([]HistogramSnapshot, 0, len(hists))
+	for i, h := range hists {
+		out = append(out, h.Snapshot(names[i]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Snapshots returns all meters' snapshots sorted by name.
 func (r *Registry) Snapshots() []Snapshot {
 	r.mu.Lock()
@@ -169,7 +307,7 @@ func (r *Registry) Snapshots() []Snapshot {
 }
 
 // String renders the registry as a small table: meters first, then any
-// nonzero failure counters.
+// nonzero failure counters, nonzero gauges and populated histograms.
 func (r *Registry) String() string {
 	out := ""
 	for _, s := range r.Snapshots() {
@@ -182,5 +320,23 @@ func (r *Registry) String() string {
 		}
 		out += fmt.Sprintf("%-16s %12d events\n", c.Name, c.Value)
 	}
+	for _, g := range r.GaugeSnapshots() {
+		if g.Value == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-16s %12.2f\n", g.Name, g.Value)
+	}
+	for _, h := range r.HistogramSnapshots() {
+		if h.Count == 0 {
+			continue
+		}
+		out += fmt.Sprintf("%-24s %8d obs  p50 %s  p99 %s\n",
+			h.Name, h.Count, fmtNanos(h.P50), fmtNanos(h.P99))
+	}
 	return out
+}
+
+// fmtNanos renders a nanosecond quantile human-readably.
+func fmtNanos(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
 }

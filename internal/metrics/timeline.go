@@ -1,0 +1,327 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MeterSample is one meter's cumulative totals at a point in time.
+type MeterSample struct {
+	Bytes int64 `json:"bytes"`
+	Items int64 `json:"items"`
+}
+
+// TimelinePoint is one timestamped snapshot of a registry (or, for the
+// simulator, of whatever the harness chooses to record). T is seconds
+// since the timeline's origin — wall-clock for real runs, virtual time
+// for simulated ones; the curve math below does not care which.
+type TimelinePoint struct {
+	T        float64                `json:"t"`
+	Meters   map[string]MeterSample `json:"meters,omitempty"`
+	Counters map[string]int64       `json:"counters,omitempty"`
+	Gauges   map[string]float64     `json:"gauges,omitempty"`
+}
+
+// Timeline is a bounded in-memory ring of timestamped samples — the
+// flight recorder's tape. Appends past the capacity overwrite the oldest
+// sample (and are counted), so a long-running node holds the most recent
+// window instead of growing without bound. It is the reusable form of
+// the degraded-mode dip-and-recovery curve: any run can sample into a
+// Timeline and render throughput-over-time from it.
+type Timeline struct {
+	mu      sync.Mutex
+	buf     []TimelinePoint
+	head    int // index of the oldest point
+	count   int
+	dropped int64
+}
+
+// NewTimeline returns a timeline holding at most capacity samples
+// (minimum 1).
+func NewTimeline(capacity int) *Timeline {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Timeline{buf: make([]TimelinePoint, capacity)}
+}
+
+// Append records one sample, evicting the oldest when full.
+func (tl *Timeline) Append(p TimelinePoint) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if tl.count == len(tl.buf) {
+		tl.buf[tl.head] = p
+		tl.head = (tl.head + 1) % len(tl.buf)
+		tl.dropped++
+		return
+	}
+	tl.buf[(tl.head+tl.count)%len(tl.buf)] = p
+	tl.count++
+}
+
+// Len returns the number of retained samples.
+func (tl *Timeline) Len() int {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.count
+}
+
+// Dropped returns how many samples were evicted by the ring bound.
+func (tl *Timeline) Dropped() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.dropped
+}
+
+// Points returns the retained samples, oldest first.
+func (tl *Timeline) Points() []TimelinePoint {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]TimelinePoint, 0, tl.count)
+	for i := 0; i < tl.count; i++ {
+		out = append(out, tl.buf[(tl.head+i)%len(tl.buf)])
+	}
+	return out
+}
+
+// RateGbps resamples one meter's cumulative byte series into `buckets`
+// equal time buckets spanning [0, last sample] and returns the bucket
+// width in seconds plus the per-bucket rate in Gbps. The cumulative
+// series is treated as a step function (bytes land in the bucket of the
+// sample that first reports them), so an outage reads as a zero bucket
+// followed by a catch-up burst — not smeared across the gap.
+func (tl *Timeline) RateGbps(meter string, buckets int) (bucketSecs float64, rates []float64) {
+	rates = make([]float64, buckets)
+	pts := tl.Points()
+	if len(pts) == 0 {
+		return 0, rates
+	}
+	span := pts[len(pts)-1].T
+	if span <= 0 || buckets <= 0 {
+		return 0, rates
+	}
+	bucketSecs = span / float64(buckets)
+	// Single walk: assign each sample's byte delta to its bucket.
+	prev := int64(0)
+	for _, p := range pts {
+		ms, ok := p.Meters[meter]
+		if !ok {
+			continue
+		}
+		b := int(p.T / bucketSecs)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		rates[b] += float64(ms.Bytes - prev)
+		prev = ms.Bytes
+	}
+	for i := range rates {
+		rates[i] = rates[i] * 8 / 1e9 / bucketSecs
+	}
+	return bucketSecs, rates
+}
+
+// timelineDump is the JSON shape of a dumped timeline.
+type timelineDump struct {
+	Dropped int64           `json:"dropped"`
+	Points  []TimelinePoint `json:"points"`
+}
+
+// WriteJSON dumps the timeline as one JSON object.
+func (tl *Timeline) WriteJSON(w io.Writer) error {
+	d := timelineDump{Dropped: tl.Dropped(), Points: tl.Points()}
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// WriteCSV dumps the timeline as CSV: a `t` column plus one column per
+// meter (bytes and items), counter and gauge seen anywhere in the
+// series. Samples missing a series emit an empty cell.
+func (tl *Timeline) WriteCSV(w io.Writer) error {
+	pts := tl.Points()
+	meterSet := map[string]bool{}
+	counterSet := map[string]bool{}
+	gaugeSet := map[string]bool{}
+	for _, p := range pts {
+		for k := range p.Meters {
+			meterSet[k] = true
+		}
+		for k := range p.Counters {
+			counterSet[k] = true
+		}
+		for k := range p.Gauges {
+			gaugeSet[k] = true
+		}
+	}
+	meters := sortedKeys(meterSet)
+	counters := sortedKeys(counterSet)
+	gauges := sortedKeys(gaugeSet)
+
+	header := "t"
+	for _, m := range meters {
+		header += fmt.Sprintf(",%s_bytes,%s_items", m, m)
+	}
+	for _, c := range counters {
+		header += "," + c
+	}
+	for _, g := range gauges {
+		header += "," + g
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		row := fmt.Sprintf("%.6f", p.T)
+		for _, m := range meters {
+			if ms, ok := p.Meters[m]; ok {
+				row += fmt.Sprintf(",%d,%d", ms.Bytes, ms.Items)
+			} else {
+				row += ",,"
+			}
+		}
+		for _, c := range counters {
+			if v, ok := p.Counters[c]; ok {
+				row += fmt.Sprintf(",%d", v)
+			} else {
+				row += ","
+			}
+		}
+		for _, g := range gauges {
+			if v, ok := p.Gauges[g]; ok {
+				row += fmt.Sprintf(",%g", v)
+			} else {
+				row += ","
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sampler periodically snapshots every meter, counter and gauge of a
+// registry into a Timeline. Start/Stop run it on a wall-clock ticker;
+// Sample takes one snapshot synchronously (tests drive it with a fake
+// clock for deterministic timelines).
+type Sampler struct {
+	reg      *Registry
+	interval time.Duration
+	tl       *Timeline
+
+	now   func() time.Time // injectable clock
+	start time.Time        // origin; set at the first sample
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+	stopped bool
+}
+
+// NewSampler returns a sampler over reg with the given interval and
+// timeline capacity.
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	return &Sampler{
+		reg:      reg,
+		interval: interval,
+		tl:       NewTimeline(capacity),
+		now:      time.Now,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Timeline returns the sampler's timeline.
+func (s *Sampler) Timeline() *Timeline { return s.tl }
+
+// Sample takes one snapshot now. The first sample fixes the timeline
+// origin (T = 0).
+func (s *Sampler) Sample() {
+	t := s.now()
+	s.mu.Lock()
+	if s.start.IsZero() {
+		s.start = t
+	}
+	origin := s.start
+	s.mu.Unlock()
+
+	p := TimelinePoint{T: t.Sub(origin).Seconds()}
+	if ms := s.reg.Snapshots(); len(ms) > 0 {
+		p.Meters = make(map[string]MeterSample, len(ms))
+		for _, m := range ms {
+			p.Meters[m.Name] = MeterSample{Bytes: m.Bytes, Items: m.Items}
+		}
+	}
+	if cs := s.reg.CounterSnapshots(); len(cs) > 0 {
+		p.Counters = make(map[string]int64, len(cs))
+		for _, c := range cs {
+			p.Counters[c.Name] = c.Value
+		}
+	}
+	if gs := s.reg.GaugeSnapshots(); len(gs) > 0 {
+		p.Gauges = make(map[string]float64, len(gs))
+		for _, g := range gs {
+			p.Gauges[g.Name] = g.Value
+		}
+	}
+	s.tl.Append(p)
+}
+
+// Start samples once immediately, then on every interval tick until
+// Stop.
+func (s *Sampler) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.Sample()
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				s.Sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends periodic sampling and takes one final snapshot, so the
+// timeline always closes on the end-of-run totals. Safe to call without
+// Start (the final snapshot is still taken) and idempotent.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		close(s.stop)
+		<-s.done
+	}
+	s.Sample()
+}

@@ -1,0 +1,221 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimelineRingEviction(t *testing.T) {
+	tl := NewTimeline(4)
+	for i := 0; i < 6; i++ {
+		tl.Append(TimelinePoint{T: float64(i)})
+	}
+	if tl.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tl.Len())
+	}
+	if tl.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tl.Dropped())
+	}
+	pts := tl.Points()
+	for i, p := range pts {
+		if p.T != float64(i+2) {
+			t.Fatalf("Points[%d].T = %g, want %d (oldest first after eviction)", i, p.T, i+2)
+		}
+	}
+}
+
+func TestTimelineRateGbps(t *testing.T) {
+	// 125 MB per second is exactly 1 Gbps. Four samples at t=1..4 with
+	// cumulative bytes growing 125e6 per sample, resampled into 4
+	// buckets of 1s each: bucket 0 saw no sample, buckets 1 and 2 one
+	// delta each, bucket 3 (which owns t=3..4 and the clamped last
+	// sample) two.
+	tl := NewTimeline(16)
+	for i := 1; i <= 4; i++ {
+		tl.Append(TimelinePoint{
+			T:      float64(i),
+			Meters: map[string]MeterSample{"recv": {Bytes: int64(i) * 125e6}},
+		})
+	}
+	secs, rates := tl.RateGbps("recv", 4)
+	if secs != 1 {
+		t.Fatalf("bucketSecs = %g, want 1", secs)
+	}
+	want := []float64{0, 1, 1, 2}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates = %v, want %v", rates, want)
+		}
+	}
+}
+
+func TestTimelineRateGbpsOutageIsZeroThenBurst(t *testing.T) {
+	// Cumulative bytes stall through the middle of the run, then jump:
+	// step-function resampling must show zero buckets and a catch-up
+	// burst, not smear the delta across the gap.
+	tl := NewTimeline(16)
+	cum := []int64{125e6, 125e6, 125e6, 500e6}
+	for i, c := range cum {
+		tl.Append(TimelinePoint{
+			T:      float64(i + 1),
+			Meters: map[string]MeterSample{"recv": {Bytes: c}},
+		})
+	}
+	_, rates := tl.RateGbps("recv", 4)
+	want := []float64{0, 1, 0, 3}
+	for i := range want {
+		if rates[i] != want[i] {
+			t.Fatalf("rates = %v, want %v (zero outage bucket, then burst)", rates, want)
+		}
+	}
+}
+
+func TestTimelineRateGbpsEmpty(t *testing.T) {
+	tl := NewTimeline(4)
+	secs, rates := tl.RateGbps("none", 3)
+	if secs != 0 || len(rates) != 3 {
+		t.Fatalf("empty timeline: secs=%g rates=%v", secs, rates)
+	}
+	for _, r := range rates {
+		if r != 0 {
+			t.Fatalf("empty timeline rates = %v", rates)
+		}
+	}
+}
+
+func TestTimelineWriteJSON(t *testing.T) {
+	tl := NewTimeline(2)
+	tl.Append(TimelinePoint{T: 0, Counters: map[string]int64{"redials": 1}})
+	tl.Append(TimelinePoint{T: 1, Gauges: map[string]float64{"depth": 3}})
+	tl.Append(TimelinePoint{T: 2}) // evicts t=0
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var dump struct {
+		Dropped int64           `json:"dropped"`
+		Points  []TimelinePoint `json:"points"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("output not valid JSON: %v", err)
+	}
+	if dump.Dropped != 1 || len(dump.Points) != 2 {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Points[0].T != 1 || dump.Points[0].Gauges["depth"] != 3 {
+		t.Fatalf("points = %+v", dump.Points)
+	}
+}
+
+func TestTimelineWriteCSV(t *testing.T) {
+	tl := NewTimeline(8)
+	tl.Append(TimelinePoint{
+		T:      0,
+		Meters: map[string]MeterSample{"recv": {Bytes: 10, Items: 1}},
+	})
+	tl.Append(TimelinePoint{
+		T:        0.5,
+		Meters:   map[string]MeterSample{"recv": {Bytes: 30, Items: 2}},
+		Counters: map[string]int64{"redials": 1},
+		Gauges:   map[string]float64{"decq_depth": 2},
+	})
+	var buf bytes.Buffer
+	if err := tl.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "t,recv_bytes,recv_items,redials,decq_depth" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	// Row 1 has no counter/gauge samples: empty trailing cells.
+	if lines[1] != "0.000000,10,1,," {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "0.500000,30,2,1,2" {
+		t.Fatalf("row 2 = %q", lines[2])
+	}
+}
+
+// fakeClock yields a fixed schedule of instants.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	t := c.t
+	c.t = c.t.Add(c.step)
+	return t
+}
+
+func TestSamplerDeterministicUnderFakeClock(t *testing.T) {
+	reg := NewRegistry()
+	reg.Meter("recv").Add(100)
+	reg.Counter("redials").Inc()
+	reg.Gauge("peers").Set(2)
+	reg.RegisterGauge("decq_depth", func() float64 { return 7 })
+
+	s := NewSampler(reg, time.Second, 16)
+	s.now = (&fakeClock{t: time.Unix(1000, 0), step: time.Second}).now
+
+	s.Sample()
+	reg.Meter("recv").Add(100)
+	s.Sample()
+	s.Sample()
+
+	pts := s.Timeline().Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if p.T != float64(i) {
+			t.Fatalf("point %d at T=%g, want %d (origin fixed at first sample)", i, p.T, i)
+		}
+	}
+	if pts[0].Meters["recv"].Bytes != 100 || pts[1].Meters["recv"].Bytes != 200 {
+		t.Fatalf("meter series = %+v", pts)
+	}
+	if pts[0].Counters["redials"] != 1 {
+		t.Fatalf("counter sample = %+v", pts[0].Counters)
+	}
+	if pts[0].Gauges["peers"] != 2 || pts[0].Gauges["decq_depth"] != 7 {
+		t.Fatalf("gauge sample = %+v (callback gauges must be polled)", pts[0].Gauges)
+	}
+}
+
+func TestSamplerStopWithoutStart(t *testing.T) {
+	reg := NewRegistry()
+	reg.Meter("recv").Add(1)
+	s := NewSampler(reg, time.Hour, 4)
+	s.Stop() // must not hang, must take the final snapshot
+	s.Stop() // idempotent
+	if s.Timeline().Len() != 1 {
+		t.Fatalf("timeline after Stop-without-Start = %d points, want 1", s.Timeline().Len())
+	}
+}
+
+func TestSamplerStartStop(t *testing.T) {
+	reg := NewRegistry()
+	reg.Meter("recv").Add(1)
+	s := NewSampler(reg, time.Millisecond, 1024)
+	s.Start()
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	n := s.Timeline().Len()
+	// One immediate sample, one final sample, and some ticks between.
+	if n < 2 {
+		t.Fatalf("timeline has %d points, want >= 2", n)
+	}
+	pts := s.Timeline().Points()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T < pts[i-1].T {
+			t.Fatalf("timeline not monotone: %v then %v", pts[i-1].T, pts[i].T)
+		}
+	}
+}

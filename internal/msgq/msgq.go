@@ -60,6 +60,16 @@ const (
 	CtrHorizonFails = "msgq_horizon_fails" // Sends failed by SendHorizon
 )
 
+// Latency histograms recorded in a Push's Counters registry
+// (nanosecond observations). Dial latency is the TCP handshake cost of
+// first connections; redial latency is the same cost during recovery —
+// the two together bound how long the outage window of a dropped
+// connection stays open beyond the backoff.
+const (
+	HistDialLatency   = "msgq_dial_latency_ns"
+	HistRedialLatency = "msgq_redial_latency_ns"
+)
+
 // writeMessage serializes msg onto w.
 func writeMessage(w io.Writer, msg Message) error {
 	if len(msg) > MaxParts {
@@ -185,6 +195,12 @@ func (p *Push) count(name string) {
 	}
 }
 
+func (p *Push) observe(name string, d time.Duration) {
+	if p.Counters != nil {
+		p.Counters.Histogram(name).ObserveDuration(d)
+	}
+}
+
 func (p *Push) isClosed() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -225,6 +241,7 @@ func (p *Push) maintain(addr string) {
 		if p.isClosed() {
 			return
 		}
+		dialT0 := time.Now()
 		conn, err := p.dial(addr)
 		if err != nil {
 			p.count(CtrDialErrors)
@@ -254,8 +271,10 @@ func (p *Push) maintain(addr string) {
 		p.mu.Unlock()
 		if established == 0 {
 			p.count(CtrDials)
+			p.observe(HistDialLatency, time.Since(dialT0))
 		} else {
 			p.count(CtrRedials)
+			p.observe(HistRedialLatency, time.Since(dialT0))
 		}
 		established++
 		backoff = initial

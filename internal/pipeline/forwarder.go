@@ -98,6 +98,7 @@ func RunForwarder(opts ForwarderOptions) error {
 	}
 
 	relayQ := queue.New[msgq.Message](opts.QueueCap)
+	watchQueue(opts.Metrics, "relayq", relayQ)
 	done := make(chan struct{})
 	var doneOnce sync.Once
 	stopAll := func() { doneOnce.Do(func() { close(done) }) }

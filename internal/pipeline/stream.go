@@ -32,8 +32,11 @@ func newOpTracer(tr *trace.Tracer, node string) *opTracer {
 	return &opTracer{tr: tr, start: time.Now(), node: node}
 }
 
-// span records one operation that began at wall-clock time t0.
-func (o *opTracer) span(stage string, worker int, t0 time.Time, bytes int) {
+// span records one operation that began at wall-clock time t0. Each
+// span carries the chunk's sequence number, so one chunk's journey —
+// compress → queue-wait → send → receive → queue-wait → decompress —
+// can be followed across tracks in the Perfetto UI.
+func (o *opTracer) span(stage string, worker int, t0 time.Time, bytes int, seq uint64) {
 	if o == nil {
 		return
 	}
@@ -44,7 +47,58 @@ func (o *opTracer) span(stage string, worker int, t0 time.Time, bytes int) {
 		Duration: time.Since(t0).Seconds(),
 		Process:  o.node,
 		Track:    worker,
-		Args:     map[string]any{"bytes": bytes},
+		Args:     map[string]any{"bytes": bytes, "seq": seq},
+	})
+}
+
+// stageObserver bundles the flight-recorder series of one pipeline
+// stage: a throughput meter, a per-chunk service-latency histogram and a
+// queue-wait histogram (time a chunk sat in the stage's inbound queue).
+// Observations are a handful of uncontended atomic adds per chunk.
+type stageObserver struct {
+	meter *metrics.Meter
+	lat   *metrics.Histogram
+	qwait *metrics.Histogram
+	trc   *opTracer
+	stage string
+}
+
+func newStageObserver(reg *metrics.Registry, trc *opTracer, stage string) *stageObserver {
+	return &stageObserver{
+		meter: reg.Meter(stage),
+		lat:   reg.Histogram(stage + "_latency_ns"),
+		qwait: reg.Histogram(stage + "_qwait_ns"),
+		trc:   trc,
+		stage: stage,
+	}
+}
+
+// dequeued records how long c waited in the stage's inbound queue (and
+// a "queue-wait" trace span on the consuming worker's track).
+func (so *stageObserver) dequeued(c Chunk, worker int) {
+	if c.enqAt.IsZero() {
+		return
+	}
+	so.qwait.ObserveDuration(time.Since(c.enqAt))
+	so.trc.span("queue-wait", worker, c.enqAt, len(c.Data), c.Seq)
+}
+
+// done records one processed chunk: service latency since t0, meter
+// bytes, and the stage's trace span.
+func (so *stageObserver) done(worker int, t0 time.Time, bytes int, seq uint64) {
+	so.lat.ObserveDuration(time.Since(t0))
+	so.meter.Add(bytes)
+	so.trc.span(so.stage, worker, t0, bytes, seq)
+}
+
+// watchQueue registers live depth, high-water and cumulative blocked-time
+// gauges for q, polled at scrape/sample time.
+func watchQueue[T any](reg *metrics.Registry, name string, q *queue.Queue[T]) {
+	reg.RegisterGauge(name+"_depth", func() float64 { return float64(q.Len()) })
+	reg.RegisterGauge(name+"_highwater", func() float64 { return float64(q.Stats().MaxDepth) })
+	reg.RegisterGauge(name+"_blocked_secs", func() float64 {
+		st := q.Stats()
+		return (st.PutBlocked + st.GetBlocked).Seconds()
 	})
 }
 
@@ -60,6 +114,10 @@ type Chunk struct {
 	Data   []byte // current payload: raw or LZ4 block
 	RawLen int    // uncompressed length of the original chunk
 	Packed bool   // Data is an LZ4 block
+
+	// enqAt is stamped just before the chunk enters an inter-stage
+	// queue; the consuming stage turns it into a queue-wait observation.
+	enqAt time.Time
 }
 
 // message header:
@@ -227,12 +285,14 @@ func RunSender(opts SenderOptions) error {
 
 	tracer := newOpTracer(opts.Tracer, opts.Cfg.Node)
 	sendQ := queue.New[Chunk](opts.QueueCap)
+	watchQueue(opts.Metrics, "sendq", sendQ)
 	var compQ *queue.Queue[Chunk]
 
 	// Source feeder.
 	feedTo := sendQ
 	if hasComp && compGroup.Count > 0 {
 		compQ = queue.New[Chunk](opts.QueueCap)
+		watchQueue(opts.Metrics, "compq", compQ)
 		feedTo = compQ
 	}
 	go func() {
@@ -245,6 +305,7 @@ func RunSender(opts SenderOptions) error {
 			}
 			c := Chunk{Seq: seq, Stream: opts.StreamID, Data: raw, RawLen: len(raw)}
 			seq++
+			c.enqAt = time.Now()
 			if err := feedTo.Put(c); err != nil {
 				return
 			}
@@ -258,7 +319,7 @@ func RunSender(opts SenderOptions) error {
 		if err != nil {
 			return err
 		}
-		meter := opts.Metrics.Meter("compress")
+		obs := newStageObserver(opts.Metrics, tracer, "compress")
 		var closeOnce sync.Once
 		var live sync.WaitGroup
 		live.Add(compGroup.Count)
@@ -281,6 +342,7 @@ func RunSender(opts SenderOptions) error {
 				if err != nil {
 					return err
 				}
+				obs.dequeued(c, worker)
 				t0 := time.Now()
 				bound := lz4.CompressBound(len(c.Data))
 				if cap(buf) < bound {
@@ -302,8 +364,8 @@ func RunSender(opts SenderOptions) error {
 					c.Data = packed
 					c.Packed = true
 				}
-				tracer.span("compress", worker, t0, c.RawLen)
-				meter.Add(c.RawLen)
+				obs.done(worker, t0, c.RawLen, c.Seq)
+				c.enqAt = time.Now()
 				if err := sendQ.Put(c); err != nil {
 					return nil // receiver side gone; drain out
 				}
@@ -317,7 +379,7 @@ func RunSender(opts SenderOptions) error {
 		if err != nil {
 			return err
 		}
-		meter := opts.Metrics.Meter("send")
+		obs := newStageObserver(opts.Metrics, tracer, "send")
 		pools = append(pools, Start("send", nSend, pin, func(worker int) error {
 			for {
 				c, err := sendQ.Get()
@@ -327,13 +389,13 @@ func RunSender(opts SenderOptions) error {
 				if err != nil {
 					return err
 				}
+				obs.dequeued(c, worker)
 				t0 := time.Now()
 				sum := crc32.Checksum(c.Data, crcTable)
 				if err := push.Send(msgq.Message{encodeHeader(c, sum), c.Data}); err != nil {
 					return fmt.Errorf("sending chunk %d: %w", c.Seq, err)
 				}
-				tracer.span("send", worker, t0, len(c.Data))
-				meter.Add(len(c.Data))
+				obs.done(worker, t0, len(c.Data), c.Seq)
 			}
 		}))
 	}
@@ -449,6 +511,7 @@ func RunReceiver(opts ReceiverOptions) error {
 	var decQ *queue.Queue[Chunk]
 	if hasDec && decGroup.Count > 0 {
 		decQ = queue.New[Chunk](opts.QueueCap)
+		watchQueue(opts.Metrics, "decq", decQ)
 	}
 
 	quarantinedCtr := opts.Metrics.Counter(CtrQuarantined)
@@ -559,7 +622,7 @@ func RunReceiver(opts ReceiverOptions) error {
 		if err != nil {
 			return err
 		}
-		meter := opts.Metrics.Meter("receive")
+		obs := newStageObserver(opts.Metrics, tracer, "receive")
 		var closeOnce sync.Once
 		var live sync.WaitGroup
 		live.Add(nRecv)
@@ -604,9 +667,9 @@ func RunReceiver(opts ReceiverOptions) error {
 					continue
 				}
 				c.Data = msg[1]
-				tracer.span("receive", worker, t0, len(c.Data))
-				meter.Add(len(c.Data))
+				obs.done(worker, t0, len(c.Data), c.Seq)
 				if decQ != nil {
+					c.enqAt = time.Now()
 					if err := decQ.Put(c); err != nil {
 						return nil
 					}
@@ -624,7 +687,7 @@ func RunReceiver(opts ReceiverOptions) error {
 		if err != nil {
 			return err
 		}
-		meter := opts.Metrics.Meter("decompress")
+		obs := newStageObserver(opts.Metrics, tracer, "decompress")
 		pools = append(pools, Start("decompress", decGroup.Count, pin, func(worker int) error {
 			for {
 				c, err := decQ.Get()
@@ -634,6 +697,7 @@ func RunReceiver(opts ReceiverOptions) error {
 				if err != nil {
 					return err
 				}
+				obs.dequeued(c, worker)
 				t0 := time.Now()
 				if c.Packed {
 					raw, err := lz4.Decompress(c.Data, c.RawLen)
@@ -646,8 +710,7 @@ func RunReceiver(opts ReceiverOptions) error {
 					c.Data = raw
 					c.Packed = false
 				}
-				tracer.span("decompress", worker, t0, c.RawLen)
-				meter.Add(c.RawLen)
+				obs.done(worker, t0, c.RawLen, c.Seq)
 				if err := deliver(c); err != nil {
 					return failStop(err)
 				}

@@ -8,6 +8,7 @@ package queue
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by operations on a queue that has been closed and,
@@ -31,11 +32,13 @@ type Queue[T any] struct {
 	closed bool
 
 	// statistics, guarded by mu
-	puts      uint64
-	gets      uint64
-	maxDepth  int
-	putBlocks uint64
-	getBlocks uint64
+	puts       uint64
+	gets       uint64
+	maxDepth   int
+	putBlocks  uint64
+	getBlocks  uint64
+	putBlocked time.Duration
+	getBlocked time.Duration
 }
 
 // New returns an empty queue with the given capacity. Capacity must be at
@@ -66,13 +69,15 @@ func (q *Queue[T]) Len() int {
 func (q *Queue[T]) Put(v T) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	blocked := false
-	for q.count == len(q.buf) && !q.closed {
-		if !blocked {
-			blocked = true
-			q.putBlocks++
+	// Blocked-time accounting stays off the fast path: the clock is read
+	// only when this call actually waits.
+	if q.count == len(q.buf) && !q.closed {
+		blockedAt := time.Now()
+		q.putBlocks++
+		for q.count == len(q.buf) && !q.closed {
+			q.notFull.Wait()
 		}
-		q.notFull.Wait()
+		q.putBlocked += time.Since(blockedAt)
 	}
 	if q.closed {
 		return ErrClosed
@@ -101,13 +106,13 @@ func (q *Queue[T]) TryPut(v T) (bool, error) {
 func (q *Queue[T]) Get() (T, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	blocked := false
-	for q.count == 0 && !q.closed {
-		if !blocked {
-			blocked = true
-			q.getBlocks++
+	if q.count == 0 && !q.closed {
+		blockedAt := time.Now()
+		q.getBlocks++
+		for q.count == 0 && !q.closed {
+			q.notEmpty.Wait()
 		}
-		q.notEmpty.Wait()
+		q.getBlocked += time.Since(blockedAt)
 	}
 	var zero T
 	if q.count == 0 {
@@ -155,12 +160,14 @@ func (q *Queue[T]) Closed() bool {
 
 // Stats is a snapshot of queue activity counters.
 type Stats struct {
-	Puts      uint64 // total successful enqueues
-	Gets      uint64 // total successful dequeues
-	MaxDepth  int    // high-water mark of occupancy
-	PutBlocks uint64 // Put calls that had to wait (backpressure events)
-	GetBlocks uint64 // Get calls that had to wait (starvation events)
-	Depth     int    // current occupancy
+	Puts       uint64        // total successful enqueues
+	Gets       uint64        // total successful dequeues
+	MaxDepth   int           // high-water mark of occupancy
+	PutBlocks  uint64        // Put calls that had to wait (backpressure events)
+	GetBlocks  uint64        // Get calls that had to wait (starvation events)
+	PutBlocked time.Duration // cumulative time Put callers spent waiting
+	GetBlocked time.Duration // cumulative time Get callers spent waiting
+	Depth      int           // current occupancy
 }
 
 // Stats returns a snapshot of the queue's counters.
@@ -168,12 +175,14 @@ func (q *Queue[T]) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return Stats{
-		Puts:      q.puts,
-		Gets:      q.gets,
-		MaxDepth:  q.maxDepth,
-		PutBlocks: q.putBlocks,
-		GetBlocks: q.getBlocks,
-		Depth:     q.count,
+		Puts:       q.puts,
+		Gets:       q.gets,
+		MaxDepth:   q.maxDepth,
+		PutBlocks:  q.putBlocks,
+		GetBlocks:  q.getBlocks,
+		PutBlocked: q.putBlocked,
+		GetBlocked: q.getBlocked,
+		Depth:      q.count,
 	}
 }
 

@@ -315,3 +315,72 @@ func TestPropertyWraparound(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatsBlockedTime(t *testing.T) {
+	q := New[int](1)
+	if err := q.Put(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// A producer blocks on the full queue until we drain it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := q.Put(2); err != nil {
+			t.Errorf("blocked Put: %v", err)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	// Drain, then a consumer blocks on the empty queue.
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	done = make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := q.Get(); err != nil {
+			t.Errorf("blocked Get: %v", err)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := q.Put(3); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	st := q.Stats()
+	if st.PutBlocks < 1 || st.GetBlocks < 1 {
+		t.Fatalf("blocks = %d/%d, want >= 1 each", st.PutBlocks, st.GetBlocks)
+	}
+	// Generous lower bound: the waiters slept ~50ms; scheduling noise
+	// only adds to the measured wait.
+	if st.PutBlocked < 30*time.Millisecond {
+		t.Fatalf("PutBlocked = %v, want >= 30ms", st.PutBlocked)
+	}
+	if st.GetBlocked < 30*time.Millisecond {
+		t.Fatalf("GetBlocked = %v, want >= 30ms", st.GetBlocked)
+	}
+}
+
+func TestStatsNoBlockedTimeOnFastPath(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 3; i++ {
+		if err := q.Put(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := q.Stats()
+	if st.PutBlocks != 0 || st.GetBlocks != 0 || st.PutBlocked != 0 || st.GetBlocked != 0 {
+		t.Fatalf("uncontended queue reports blocking: %+v", st)
+	}
+}

@@ -1,0 +1,147 @@
+// Package telemetry serves a registry live over HTTP — the flight
+// recorder's cockpit view. A Server exposes three endpoints on an
+// opt-in address (-telemetry-addr on the binaries):
+//
+//	/metrics      Prometheus text exposition format, hand-rolled (no
+//	              client library): per-stage byte/item counters and Gbps
+//	              gauges, failure-event counters, queue-depth gauges and
+//	              log-scale latency histogram buckets.
+//	/debug/vars   the standard expvar JSON dump (the registry is
+//	              published under "numastream").
+//	/debug/pprof  the standard net/http/pprof profiles.
+//
+// Everything reads straight from the shared metrics.Registry the
+// pipeline workers are already recording into, so scraping costs a few
+// atomic loads per series — no sampling thread, no extra allocation on
+// the hot path.
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"numastream/internal/metrics"
+)
+
+// Server serves telemetry for one registry until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarReg is the registry the process-wide "numastream" expvar reads
+// from; the most recent Serve call owns it.
+var expvarReg atomic.Pointer[metrics.Registry]
+
+var publishOnce sync.Once
+
+// Serve starts a telemetry server for reg on addr (":0" picks a free
+// port; read it back with Addr).
+func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	expvarReg.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("numastream", expvar.Func(func() any {
+			r := expvarReg.Load()
+			if r == nil {
+				return nil
+			}
+			return map[string]any{
+				"meters":     r.Snapshots(),
+				"counters":   r.CounterSnapshots(),
+				"gauges":     r.GaugeSnapshots(),
+				"histograms": r.HistogramSnapshots(),
+			}
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, reg)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// sanitize maps an arbitrary registry key onto a legal Prometheus
+// metric-name fragment ([a-zA-Z0-9_]).
+func sanitize(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders reg in the Prometheus text exposition format
+// (version 0.0.4). Meters become <name>_bytes_total / <name>_items_total
+// counters plus a <name>_gbps gauge; counters become <name>_total;
+// gauges map directly; histograms emit the classic _bucket{le=...} /
+// _sum / _count triple with cumulative buckets. Every metric carries the
+// numastream_ prefix.
+func WritePrometheus(w io.Writer, reg *metrics.Registry) {
+	for _, m := range reg.Snapshots() {
+		n := "numastream_" + sanitize(m.Name)
+		fmt.Fprintf(w, "# TYPE %s_bytes_total counter\n", n)
+		fmt.Fprintf(w, "%s_bytes_total %d\n", n, m.Bytes)
+		fmt.Fprintf(w, "# TYPE %s_items_total counter\n", n)
+		fmt.Fprintf(w, "%s_items_total %d\n", n, m.Items)
+		fmt.Fprintf(w, "# TYPE %s_gbps gauge\n", n)
+		fmt.Fprintf(w, "%s_gbps %g\n", n, m.Gbps)
+	}
+	for _, c := range reg.CounterSnapshots() {
+		n := "numastream_" + sanitize(c.Name)
+		fmt.Fprintf(w, "# TYPE %s_total counter\n", n)
+		fmt.Fprintf(w, "%s_total %d\n", n, c.Value)
+	}
+	for _, g := range reg.GaugeSnapshots() {
+		n := "numastream_" + sanitize(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(w, "%s %g\n", n, g.Value)
+	}
+	for _, h := range reg.HistogramSnapshots() {
+		n := "numastream_" + sanitize(h.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, b.Le, b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+	}
+}

@@ -29,9 +29,10 @@ type Event struct {
 // pipelines share it across workers; the simulator is single-threaded
 // but pays the lock only when tracing is on).
 type Tracer struct {
-	mu     sync.Mutex
-	events []Event
-	limit  int
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int64
 }
 
 // New returns a tracer holding at most limit events (0 = unlimited).
@@ -40,11 +41,14 @@ func New(limit int) *Tracer {
 	return &Tracer{limit: limit}
 }
 
-// Add records an event. Events beyond the limit are dropped.
+// Add records an event. Events beyond the limit are dropped — and
+// counted, so a truncated trace says so instead of silently looking like
+// a quiet run (see Dropped and the metadata event in WriteJSON).
 func (t *Tracer) Add(e Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
 		return
 	}
 	t.events = append(t.events, e)
@@ -55,6 +59,13 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.events)
+}
+
+// Dropped returns the number of events discarded by the limit.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Events returns a snapshot sorted by start time.
@@ -79,10 +90,13 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteJSON writes the events as a Chrome trace (JSON array form).
+// WriteJSON writes the events as a Chrome trace (JSON array form). When
+// the limit dropped events, a trailing metadata event ("trace_dropped",
+// ph "M") carries the count in args.dropped, so a truncated trace is
+// visibly truncated in the viewer.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	events := t.Events()
-	out := make([]chromeEvent, len(events))
+	out := make([]chromeEvent, len(events), len(events)+1)
 	for i, e := range events {
 		out[i] = chromeEvent{
 			Name: e.Name,
@@ -94,6 +108,14 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			Tid:  e.Track,
 			Args: e.Args,
 		}
+	}
+	if d := t.Dropped(); d > 0 {
+		out = append(out, chromeEvent{
+			Name: "trace_dropped",
+			Ph:   "M",
+			Pid:  "tracer",
+			Args: map[string]any{"dropped": d},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

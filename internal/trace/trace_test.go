@@ -29,6 +29,58 @@ func TestLimitDropsExcess(t *testing.T) {
 	if tr.Len() != 3 {
 		t.Fatalf("Len = %d, want 3 (limited)", tr.Len())
 	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+func TestNoLimitNoDrops(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 10; i++ {
+		tr.Add(Event{Name: "e"})
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0 for an unlimited tracer", tr.Dropped())
+	}
+}
+
+func TestWriteJSONReportsDrops(t *testing.T) {
+	tr := New(2)
+	for i := 0; i < 5; i++ {
+		tr.Add(Event{Name: "e", Start: float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 retained events plus the trailing metadata event.
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	meta := events[2]
+	if meta["name"] != "trace_dropped" || meta["ph"] != "M" {
+		t.Fatalf("metadata event = %v", meta)
+	}
+	args, ok := meta["args"].(map[string]any)
+	if !ok || args["dropped"].(float64) != 3 {
+		t.Fatalf("metadata args = %v, want dropped=3", meta["args"])
+	}
+}
+
+func TestWriteJSONOmitsDropMarkerWhenComplete(t *testing.T) {
+	tr := New(10)
+	tr.Add(Event{Name: "e"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if strings.Contains(buf.String(), "trace_dropped") {
+		t.Fatalf("complete trace carries a drop marker: %s", buf.String())
+	}
 }
 
 func TestWriteJSONIsValidChromeTrace(t *testing.T) {

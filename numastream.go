@@ -34,10 +34,13 @@
 package numastream
 
 import (
+	"time"
+
 	"numastream/internal/metrics"
 	"numastream/internal/numa"
 	"numastream/internal/pipeline"
 	"numastream/internal/runtime"
+	"numastream/internal/telemetry"
 )
 
 // Configuration types (see internal/runtime for full documentation).
@@ -117,8 +120,17 @@ type (
 	ForwarderOptions = pipeline.ForwarderOptions
 	// Chunk is one streamed data unit.
 	Chunk = pipeline.Chunk
-	// Registry aggregates named throughput meters.
+	// Registry aggregates named throughput meters, event counters,
+	// gauges and latency histograms.
 	Registry = metrics.Registry
+	// Histogram is a log-scale latency/size histogram.
+	Histogram = metrics.Histogram
+	// Gauge is an instantaneous value (queue depth, live peers).
+	Gauge = metrics.Gauge
+	// Timeline is a bounded ring of timestamped metric samples.
+	Timeline = metrics.Timeline
+	// Sampler periodically snapshots a Registry into a Timeline.
+	Sampler = metrics.Sampler
 	// HostTopology is the discovered NUMA layout of this host.
 	HostTopology = numa.HostTopology
 )
@@ -136,6 +148,35 @@ func StartForwarder(opts ForwarderOptions) error { return pipeline.RunForwarder(
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return metrics.NewRegistry() }
+
+// NewSampler returns a sampler that snapshots reg every interval into a
+// timeline of at most capacity samples (the flight recorder's tape).
+func NewSampler(reg *Registry, interval time.Duration, capacity int) *Sampler {
+	return metrics.NewSampler(reg, interval, capacity)
+}
+
+// TelemetryServer serves a registry live over HTTP: /metrics in
+// Prometheus text exposition format, /debug/vars (expvar) and
+// /debug/pprof. See internal/telemetry.
+type TelemetryServer struct {
+	s *telemetry.Server
+}
+
+// ServeTelemetry starts a telemetry server for reg on addr (":0" picks
+// a free port).
+func ServeTelemetry(addr string, reg *Registry) (*TelemetryServer, error) {
+	s, err := telemetry.Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &TelemetryServer{s: s}, nil
+}
+
+// Addr returns the server's bound address.
+func (t *TelemetryServer) Addr() string { return t.s.Addr() }
+
+// Close stops the server.
+func (t *TelemetryServer) Close() error { return t.s.Close() }
 
 // DiscoverTopology returns this host's NUMA topology; ok is false when
 // sysfs discovery was unavailable and a synthetic single-node topology
