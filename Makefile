@@ -14,13 +14,23 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrent transport/pipeline paths
-# (reconnect, send horizons, quarantine accounting, queues) and the
-# telemetry layer (histograms, sampler, live endpoint).
+# (reconnect, send horizons, quarantine accounting, queues), the
+# telemetry layer (histograms, sampler, live endpoint), and the tracing
+# layer (concurrent Add/WriteJSON, chunk framing).
 race:
-	$(GO) test -race ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/...
+	$(GO) test -race ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
 
 # The single CI entry point: build, vet, tests, race pass.
 check: build vet test race
 
+# Human-readable benchmark run over the root suite (the paper figures,
+# the loopback pipeline, queues, LZ4).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench=. -benchmem
+
+# Machine-readable benchmark run: test2json event stream, one JSON
+# object per line, suitable for diffing across PRs (see BENCH_PR4.json
+# for the first committed snapshot). BENCH_OUT overrides the file.
+BENCH_OUT ?= bench.json
+bench-json:
+	$(GO) test -run '^$$' -bench=. -benchmem -json > $(BENCH_OUT)

@@ -40,6 +40,7 @@ func main() {
 	dualNIC := flag.Bool("dual-nic", false, "run the dual-NIC gateway study (extension)")
 	degraded := flag.Bool("degraded", false, "run the degraded-mode link fault simulation (robustness)")
 	degradedReal := flag.Bool("degraded-real", false, "run the real-mode fault injection loopback (robustness)")
+	traceWire := flag.String("trace-wire", "", "run the wire-journey loopback (real pipeline, WireTrace on) and write the merged cross-process Chrome trace to this file")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; real-mode harnesses record into the served registry")
 	flag.Var(&figs, "fig", "figure to regenerate (5,6,7,8,9,11,12,14 or all); repeatable")
 	flag.Parse()
@@ -200,6 +201,28 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatDegradedReal(res))
+	}
+	if *traceWire != "" {
+		chunks, chunkBytes := 64, 256<<10
+		if *quick {
+			chunks, chunkBytes = 24, 64<<10
+		}
+		tr, res, err := experiments.WireJourneyLoopback(reg, chunks, chunkBytes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatJourney(res))
+		f, err := os.Create(*traceWire)
+		if err != nil {
+			fail(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("merged journey trace (%d events) written to %s — open at ui.perfetto.dev\n", tr.Len(), *traceWire)
 	}
 	if *rssStreams > 0 {
 		res, err := experiments.RSSStudy(*rssStreams)

@@ -40,7 +40,8 @@ func main() {
 		scale      = flag.Int("scale", 4, "detector downscale factor (1 = full 11.06 MB chunks)")
 		synthetic  = flag.Bool("synthetic", false, "use patterned chunks instead of tomography projections")
 		serve      = flag.Bool("serve", false, "receiver: serve until interrupted instead of expecting -chunks")
-		tracePath  = flag.String("trace", "", "write a Chrome trace of this node's workers to the file")
+		tracePath  = flag.String("trace", "", "write a Chrome trace of this node's workers to the file; on a receiver fed by a -trace-wire sender this is the merged cross-host journey trace")
+		traceWire  = flag.Bool("trace-wire", false, "sender: ship a per-chunk trace context on every frame so a new-protocol receiver can stitch cross-host chunk journeys (no effect against legacy receivers)")
 
 		// Telemetry (the flight recorder).
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the node runs")
@@ -83,22 +84,26 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(1 << 20)
+	}
 	if *telemetryAddr != "" {
-		srv, err := telemetry.Serve(*telemetryAddr, reg)
+		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Tracer: tracer})
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+		extra := "/healthz, /debug/vars, /debug/pprof"
+		if tracer != nil {
+			extra += ", /trace"
+		}
+		fmt.Printf("telemetry: http://%s/metrics (also %s)\n", srv.Addr(), extra)
 	}
 	var sampler *metrics.Sampler
 	if *timelinePath != "" {
 		sampler = metrics.NewSampler(reg, *sampleEvery, 1<<16)
 		sampler.Start()
-	}
-	var tracer *trace.Tracer
-	if *tracePath != "" {
-		tracer = trace.New(1 << 20)
 	}
 	switch cfg.Role {
 	case runtime.Sender:
@@ -115,6 +120,7 @@ func main() {
 			Tracer:       tracer,
 			SendHorizon:  *sendHorizon,
 			WriteTimeout: *writeTimeout,
+			WireTrace:    *traceWire,
 		}
 		var plan faults.Plan
 		plan.Seed = *faultSeed

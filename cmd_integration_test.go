@@ -276,6 +276,155 @@ func TestCLIExperimentsCSVAndExtensions(t *testing.T) {
 	}
 }
 
+func TestCLIExperimentsWireJourney(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "journey.json")
+	out := run(t, "experiments", "-fig", "none", "-quick", "-trace-wire", tracePath)
+	if !strings.Contains(out, "Wire-journey loopback") || !strings.Contains(out, "clock offset") {
+		t.Fatalf("journey output:\n%s", out)
+	}
+	if !strings.Contains(out, "merged journey trace") {
+		t.Fatalf("no trace confirmation in output:\n%s", out)
+	}
+	checkJourneyTrace(t, tracePath, "journey-src", "journey-gw")
+}
+
+// checkJourneyTrace asserts that a merged cross-process trace file holds
+// flow-linked spans on both the sender and receiver tracks: every flow
+// start ("ph":"s") on the sender pid has a matching finish ("ph":"f") on
+// the receiver pid under the same flow id.
+func checkJourneyTrace(t *testing.T, path, senderPid, receiverPid string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	pids := map[string]bool{}
+	starts := map[string]string{} // flow id -> pid of the "s" event
+	finishes := map[string]string{}
+	for _, e := range events {
+		pid, _ := e["pid"].(string)
+		pids[pid] = true
+		id, _ := e["id"].(string)
+		switch e["ph"] {
+		case "s":
+			starts[id] = pid
+		case "f":
+			finishes[id] = pid
+		}
+	}
+	if !pids[senderPid] || !pids[receiverPid] {
+		t.Fatalf("trace lacks both process tracks (have %v, want %q and %q)", pids, senderPid, receiverPid)
+	}
+	if len(starts) == 0 {
+		t.Fatalf("trace has no flow events (%d events total)", len(events))
+	}
+	for id, pid := range starts {
+		if pid != senderPid {
+			t.Fatalf("flow %s starts on %q, want %q", id, pid, senderPid)
+		}
+		if fp, ok := finishes[id]; !ok || fp != receiverPid {
+			t.Fatalf("flow %s finish = %q, %v; want %q", id, fp, ok, receiverPid)
+		}
+	}
+}
+
+func TestCLIWireTracePair(t *testing.T) {
+	dir := t.TempDir()
+	rcvCfg := filepath.Join(dir, "rcv.json")
+	sndCfg := filepath.Join(dir, "snd.json")
+	tracePath := filepath.Join(dir, "journey.json")
+	os.WriteFile(rcvCfg, []byte(run(t, "confgen", "-role", "receiver", "-node", "gw",
+		"-sockets", "1", "-cores", "1", "-nic-socket", "0", "-compression")), 0o644)
+	os.WriteFile(sndCfg, []byte(run(t, "confgen", "-role", "sender", "-node", "src",
+		"-sockets", "1", "-cores", "1", "-nic-socket", "0", "-compression")), 0o644)
+
+	// Fixed ports, distinct from the other CLI tests.
+	const streamAddr = "127.0.0.1:19776"
+	const telemetryAddr = "127.0.0.1:19777"
+	const chunks = 6
+
+	var rcvOut bytes.Buffer
+	rcv := exec.Command(filepath.Join(buildTools(t), "numastream"),
+		"-config", rcvCfg, "-bind", streamAddr, "-serve", "-scale", "16", "-synthetic",
+		"-telemetry-addr", telemetryAddr, "-trace", tracePath)
+	rcv.Stdout = &rcvOut
+	rcv.Stderr = &rcvOut
+	if err := rcv.Start(); err != nil {
+		t.Fatalf("starting receiver: %v", err)
+	}
+	defer rcv.Process.Kill()
+
+	scrape := func() (string, error) {
+		resp, err := http.Get("http://" + telemetryAddr + "/metrics")
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return string(body), err
+	}
+
+	// A sender with -trace-wire stamps a trace context on every frame;
+	// the receiver stitches journeys from them without any flag.
+	run(t, "numastream", "-config", sndCfg, "-peers", streamAddr,
+		"-chunks", "4", "-scale", "16", "-synthetic", "-trace-wire")
+	run(t, "numastream", "-config", sndCfg, "-peers", streamAddr,
+		"-chunks", "2", "-scale", "16", "-synthetic", "-trace-wire")
+
+	// The journey histograms fill as chunks are delivered; poll until all
+	// have landed (deliveries can trail the sender's exit briefly).
+	countRe := regexp.MustCompile(`numastream_chunk_e2e_seconds_count (\d+)`)
+	var page string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		page, err = scrape()
+		if err == nil {
+			if m := countRe.FindStringSubmatch(page); m != nil && m[1] == "6" {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("chunk_e2e_seconds never reached %d journeys; err=%v\n/metrics:\n%s\nreceiver:\n%s",
+				chunks, err, page, rcvOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Non-empty quantiles: at least one finite bucket below +Inf holds
+	// counts, and the sum is a positive number of seconds.
+	bucketRe := regexp.MustCompile(`numastream_chunk_e2e_seconds_bucket\{le="[0-9][^"]*"\} ([1-9]\d*)`)
+	if !bucketRe.MatchString(page) {
+		t.Fatalf("chunk_e2e_seconds has no populated finite buckets:\n%s", page)
+	}
+	sumRe := regexp.MustCompile(`numastream_chunk_e2e_seconds_sum ([0-9.e+-]+)`)
+	m := sumRe.FindStringSubmatch(page)
+	if m == nil || m[1] == "0" {
+		t.Fatalf("chunk_e2e_seconds_sum missing or zero: %v", m)
+	}
+	if !strings.Contains(page, "numastream_chunk_wire_seconds_count 6") {
+		t.Fatalf("chunk_wire_seconds not populated:\n%s", page)
+	}
+	if !strings.Contains(page, "numastream_trace_ctx_bad_total 0") {
+		t.Fatalf("bad trace contexts reported:\n%s", page)
+	}
+
+	// SIGINT drains the receiver; the dumped trace is the merged journey
+	// trace: sender spans (offset-corrected, pid "src") flow-linked into
+	// the receiver's own spans (pid "gw").
+	if err := rcv.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("interrupting receiver: %v", err)
+	}
+	if err := rcv.Wait(); err != nil {
+		t.Fatalf("receiver exit: %v\n%s", err, rcvOut.String())
+	}
+	checkJourneyTrace(t, tracePath, "src", "gw")
+}
+
 func TestCLIExperimentsTrace(t *testing.T) {
 	dir := t.TempDir()
 	tracePath := filepath.Join(dir, "gw.json")

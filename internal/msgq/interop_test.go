@@ -1,0 +1,266 @@
+package msgq
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// legacyPull is a hand-rolled protocol-version-1 receiver: it accepts
+// connections and reads raw frames, and — critically — never writes a
+// hello (the original Pull never wrote anything). Dialers must classify
+// it by silence and degrade to version-1 framing.
+type legacyPull struct {
+	ln   net.Listener
+	msgs chan Message
+}
+
+func newLegacyPull(t *testing.T) *legacyPull {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	lp := &legacyPull{ln: ln, msgs: make(chan Message, 64)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				for {
+					msg, err := readMessage(conn)
+					if err != nil {
+						return
+					}
+					lp.msgs <- msg
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return lp
+}
+
+// TestInteropNewPushToLegacyPull: a version-2 sender against an
+// old-frame receiver. The hello timeout classifies the silent peer, the
+// connection degrades to v1 framing, and SendTagged's aux part is
+// dropped rather than corrupting the legacy frame stream.
+func TestInteropNewPushToLegacyPull(t *testing.T) {
+	lp := newLegacyPull(t)
+	push := NewPush()
+	push.Label = "newsender"
+	push.HelloTimeout = 100 * time.Millisecond
+	push.Connect(lp.ln.Addr().String())
+	defer push.Close()
+
+	if err := push.SendTagged(Message{[]byte("hdr"), []byte("data")}, []byte("TRACECTX")); err != nil {
+		t.Fatalf("SendTagged: %v", err)
+	}
+	if err := push.Send(Message{[]byte("plain")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+
+	for i, want := range []int{2, 1} {
+		select {
+		case msg := <-lp.msgs:
+			if len(msg) != want {
+				t.Fatalf("legacy message %d has %d parts, want %d (aux must not leak): %q", i, len(msg), want, msg)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("legacy pull never received message %d", i)
+		}
+	}
+}
+
+// TestInteropLegacyPushToNewPull: an old-frame sender against a
+// version-2 receiver. The sniffed first frame classifies the peer; the
+// receiver's unread hello bytes are harmless; deliveries carry no aux
+// and no clock offset.
+func TestInteropLegacyPushToNewPull(t *testing.T) {
+	pull, err := NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewPull: %v", err)
+	}
+	defer pull.Close()
+	pull.SetLabel("newreceiver")
+
+	// Hand-rolled legacy dialer: writes frames immediately, reads
+	// nothing, ever.
+	conn, err := net.Dial("tcp", pull.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := writeMessage(conn, Message{[]byte("old"), []byte("frame")}); err != nil {
+		t.Fatalf("writeMessage: %v", err)
+	}
+
+	d, err := pull.RecvDelivery()
+	if err != nil {
+		t.Fatalf("RecvDelivery: %v", err)
+	}
+	if len(d.Msg) != 2 || string(d.Msg[0]) != "old" {
+		t.Fatalf("msg = %q", d.Msg)
+	}
+	if d.Aux != nil {
+		t.Fatalf("legacy delivery has aux %q", d.Aux)
+	}
+	if d.OffsetValid {
+		t.Fatal("legacy delivery claims a valid clock offset")
+	}
+	if d.Peer != conn.LocalAddr().String() {
+		t.Fatalf("Peer = %q, want remote addr %q", d.Peer, conn.LocalAddr().String())
+	}
+	if d.RecvNanos <= 0 {
+		t.Fatalf("RecvNanos = %d", d.RecvNanos)
+	}
+	if pull.LegacyPeers() != 1 {
+		t.Fatalf("LegacyPeers = %d, want 1", pull.LegacyPeers())
+	}
+}
+
+// TestHandshakeNegotiatesV2 checks the full new↔new path: labels are
+// exchanged, the clock probe yields a plausible loopback offset, and an
+// aux part round-trips flagged — invisible to Recv, visible to
+// RecvDelivery.
+func TestHandshakeNegotiatesV2(t *testing.T) {
+	pull, err := NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewPull: %v", err)
+	}
+	defer pull.Close()
+	pull.SetLabel("gw")
+	push := NewPush()
+	push.Label = "src"
+	push.Connect(pull.Addr().String())
+	defer push.Close()
+
+	if err := push.SendTagged(Message{[]byte("payload")}, []byte{0xAA, 0xBB}); err != nil {
+		t.Fatalf("SendTagged: %v", err)
+	}
+	d, err := pull.RecvDelivery()
+	if err != nil {
+		t.Fatalf("RecvDelivery: %v", err)
+	}
+	if len(d.Msg) != 1 || string(d.Msg[0]) != "payload" {
+		t.Fatalf("msg = %q (aux must not appear as a part)", d.Msg)
+	}
+	if string(d.Aux) != "\xaa\xbb" {
+		t.Fatalf("aux = %x", d.Aux)
+	}
+	if d.Peer != "src" {
+		t.Fatalf("Peer = %q, want hello label", d.Peer)
+	}
+	if !d.OffsetValid {
+		t.Fatal("no clock offset from a v2 handshake")
+	}
+	// Same process, same trace clock: the offset is pure probe error,
+	// bounded by loopback RTT noise.
+	if off := d.ClockOffset; off < -time.Second || off > time.Second {
+		t.Fatalf("loopback clock offset %v implausible", off)
+	}
+	if d.RTT <= 0 {
+		t.Fatalf("RTT = %v", d.RTT)
+	}
+	if pull.LegacyPeers() != 0 {
+		t.Fatalf("LegacyPeers = %d, want 0", pull.LegacyPeers())
+	}
+
+	// An untagged Send on the same v2 connection delivers nil aux.
+	if err := push.Send(Message{[]byte("plain")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	d2, err := pull.RecvDelivery()
+	if err != nil {
+		t.Fatalf("RecvDelivery: %v", err)
+	}
+	if d2.Aux != nil {
+		t.Fatalf("untagged frame delivered aux %q", d2.Aux)
+	}
+}
+
+// TestHandshakeOffsetResampledOnRedial restarts the Pull and checks the
+// replacement connection negotiated v2 again with a fresh valid offset.
+func TestHandshakeOffsetResampledOnRedial(t *testing.T) {
+	pull, err := NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewPull: %v", err)
+	}
+	addr := pull.Addr().String()
+	pull.SetLabel("gw")
+	push := NewPush()
+	push.RetryInterval = 10 * time.Millisecond
+	push.Connect(addr)
+	defer push.Close()
+
+	if err := push.Send(Message{[]byte("one")}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if d, err := pull.RecvDelivery(); err != nil || !d.OffsetValid {
+		t.Fatalf("first delivery: err=%v offsetValid=%v", err, d.OffsetValid)
+	}
+	pull.Close()
+
+	pull2, err := NewPull(addr)
+	if err != nil {
+		t.Fatalf("NewPull (restart): %v", err)
+	}
+	defer pull2.Close()
+	pull2.SetLabel("gw2")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := push.Send(Message{[]byte("two")}); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("Send never recovered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d, err := pull2.RecvDelivery()
+	if err != nil {
+		t.Fatalf("RecvDelivery after redial: %v", err)
+	}
+	if !d.OffsetValid {
+		t.Fatal("redialed connection has no clock offset (handshake must re-run)")
+	}
+}
+
+// TestHelloRejectsOversizeLabel: a malformed hello (label length beyond
+// the bound) must fail the handshake, not allocate per the wire claim.
+func TestHelloRejectsOversizeLabel(t *testing.T) {
+	pull, err := NewPull("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewPull: %v", err)
+	}
+	defer pull.Close()
+
+	conn, err := net.Dial("tcp", pull.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// Drain the server hello, then send a client hello claiming a
+	// label longer than maxLabelLen.
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read server hello: %v", err)
+	}
+	bad := append([]byte{}, helloMagic[:]...)
+	bad = append(bad, 2, 0, 0xFF, 0xFF) // version 2, labelLen 65535
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// The server must hang up instead of reading 64 KiB of label.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf[:1]); err == nil {
+		t.Fatal("server kept talking to a malformed hello")
+	}
+	if pull.ReadErrors() != 1 {
+		t.Fatalf("ReadErrors = %d, want 1 (handshake failure counted)", pull.ReadErrors())
+	}
+}

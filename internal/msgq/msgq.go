@@ -13,6 +13,13 @@
 // Zero-part messages are valid (heartbeats). Part and message sizes are
 // bounded to keep a malicious or corrupted peer from forcing huge
 // allocations.
+//
+// Protocol version 2 (see handshake.go) adds a hello/clock-probe
+// handshake and lets a frame carry one auxiliary part — flagged by the
+// high bit of the part count — that transports out-of-band metadata
+// (the pipeline's wire trace context) without occupying an application
+// part. Both extensions are negotiated: against a legacy peer the
+// connection runs the original version-1 framing above, bit for bit.
 package msgq
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	"numastream/internal/metrics"
 	"numastream/internal/queue"
+	"numastream/internal/trace"
 )
 
 // Message is a multipart message.
@@ -95,32 +103,86 @@ func writeMessage(w io.Writer, msg Message) error {
 	return nil
 }
 
-// readMessage deserializes one message from r.
+// writeMessageAux serializes msg plus one auxiliary part onto w using
+// the version-2 flagged framing. Only called on connections that
+// negotiated version ≥ 2.
+func writeMessageAux(w io.Writer, msg Message, aux []byte) error {
+	if len(msg) > MaxParts {
+		return fmt.Errorf("msgq: %d parts exceeds limit %d", len(msg), MaxParts)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(msg)+1)|auxFlag)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	writePart := func(part []byte) error {
+		if len(part) > MaxPartSize {
+			return fmt.Errorf("msgq: part of %d bytes exceeds limit", len(part))
+		}
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(part)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(part)
+		return err
+	}
+	for _, part := range msg {
+		if err := writePart(part); err != nil {
+			return err
+		}
+	}
+	return writePart(aux)
+}
+
+// readMessage deserializes one version-1 message from r.
 func readMessage(r io.Reader) (Message, error) {
+	msg, _, err := readMessageFrom(r, false)
+	return msg, err
+}
+
+// readMessageFrom deserializes one message. With allowAux (a version ≥ 2
+// connection) a part count carrying auxFlag means the frame's last part
+// is auxiliary metadata, returned separately from the application parts.
+func readMessageFrom(r io.Reader, allowAux bool) (Message, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > MaxParts {
-		return nil, fmt.Errorf("msgq: message with %d parts exceeds limit", n)
+	hasAux := false
+	if allowAux && n&auxFlag != 0 {
+		hasAux = true
+		n &^= auxFlag
+		if n == 0 {
+			return nil, nil, fmt.Errorf("msgq: aux-flagged message with no parts")
+		}
+	}
+	limit := uint32(MaxParts)
+	if hasAux {
+		limit++ // the aux part rides above the application-part limit
+	}
+	if n > limit {
+		return nil, nil, fmt.Errorf("msgq: message with %d parts exceeds limit", n)
 	}
 	msg := make(Message, 0, n)
 	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		size := binary.LittleEndian.Uint32(hdr[:])
 		if size > MaxPartSize {
-			return nil, fmt.Errorf("msgq: part of %d bytes exceeds limit", size)
+			return nil, nil, fmt.Errorf("msgq: part of %d bytes exceeds limit", size)
 		}
 		part := make([]byte, size)
 		if _, err := io.ReadFull(r, part); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		msg = append(msg, part)
 	}
-	return msg, nil
+	if hasAux {
+		return msg[:len(msg)-1], msg[len(msg)-1], nil
+	}
+	return msg, nil, nil
 }
 
 // pushConn pairs a connection with a write lock so concurrent Send
@@ -135,6 +197,7 @@ func readMessage(r io.Reader) (Message, error) {
 // framing error, i.e. silent loss.
 type pushConn struct {
 	conn    net.Conn
+	version uint16 // negotiated protocol version (immutable after handshake)
 	writeMu sync.Mutex
 	broken  bool
 	gone    chan struct{}
@@ -176,6 +239,13 @@ type Push struct {
 	Dial func(addr string) (net.Conn, error)
 	// Counters, when non-nil, receives the Ctr* failure counters.
 	Counters *metrics.Registry
+	// Label is this peer's advertised name in the version-2 hello
+	// (typically the pipeline node name). Empty is fine.
+	Label string
+	// HelloTimeout is how long to wait for a server hello after dialing
+	// before concluding the peer is a legacy (version-1) receiver.
+	// Zero means DefaultHelloTimeout.
+	HelloTimeout time.Duration
 }
 
 // NewPush returns an unconnected PUSH socket.
@@ -243,6 +313,16 @@ func (p *Push) maintain(addr string) {
 		}
 		dialT0 := time.Now()
 		conn, err := p.dial(addr)
+		var ps peerState
+		if err == nil {
+			// The dial/redial latency histograms include the handshake:
+			// what they bound is time-to-first-sendable-connection, and
+			// a v2 connection is not sendable until negotiation ends.
+			ps, err = clientHandshake(conn, p.Label, p.HelloTimeout)
+			if err != nil {
+				conn.Close()
+			}
+		}
 		if err != nil {
 			p.count(CtrDialErrors)
 			// Jittered sleep in [backoff/2, backoff), interruptible
@@ -259,7 +339,10 @@ func (p *Push) maintain(addr string) {
 			}
 			continue
 		}
-		pc := &pushConn{conn: conn, gone: make(chan struct{})}
+		if ps.version < 2 {
+			p.count(CtrLegacyPeers)
+		}
+		pc := &pushConn{conn: conn, version: ps.version, gone: make(chan struct{})}
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
@@ -361,6 +444,24 @@ func (p *Push) WaitLiveTimeout(n int, d time.Duration) error {
 // dead for that long — the bounded-unavailability contract the streaming
 // pipeline needs to abort cleanly instead of wedging a worker forever.
 func (p *Push) Send(msg Message) error {
+	return p.send(msg, nil)
+}
+
+// SendTagged is Send with an auxiliary metadata part (the pipeline's
+// wire trace context). On connections that negotiated protocol
+// version ≥ 2 the aux part rides the frame, flagged so the receiver
+// surfaces it via Delivery.Aux; on legacy connections it is silently
+// dropped and the message goes out in version-1 framing — senders must
+// treat aux as advisory, which trace context is. A nil or empty aux
+// makes SendTagged identical to Send.
+func (p *Push) SendTagged(msg Message, aux []byte) error {
+	if len(aux) == 0 {
+		aux = nil
+	}
+	return p.send(msg, aux)
+}
+
+func (p *Push) send(msg Message, aux []byte) error {
 	// Validate up front: a malformed message is the caller's error, not
 	// a connection failure to retry around.
 	if len(msg) > MaxParts {
@@ -370,6 +471,9 @@ func (p *Push) Send(msg Message) error {
 		if len(part) > MaxPartSize {
 			return fmt.Errorf("msgq: part of %d bytes exceeds limit", len(part))
 		}
+	}
+	if len(aux) > MaxPartSize {
+		return fmt.Errorf("msgq: aux part of %d bytes exceeds limit", len(aux))
 	}
 	var horizonAt time.Time // deadline, armed when we first see zero live peers
 	for attempt := 0; ; attempt++ {
@@ -419,7 +523,12 @@ func (p *Push) Send(msg Message) error {
 		if p.WriteTimeout > 0 {
 			pc.conn.SetWriteDeadline(time.Now().Add(p.WriteTimeout))
 		}
-		err := writeMessage(pc.conn, msg)
+		var err error
+		if aux != nil && pc.version >= 2 {
+			err = writeMessageAux(pc.conn, msg, aux)
+		} else {
+			err = writeMessage(pc.conn, msg)
+		}
 		if p.WriteTimeout > 0 {
 			pc.conn.SetWriteDeadline(time.Time{})
 		}
@@ -468,16 +577,65 @@ func (p *Push) Close() error {
 	return nil
 }
 
+// Delivery is one received message plus its transport context: who sent
+// it, when it arrived (trace clock), the auxiliary part if the frame
+// carried one, and the sender-clock offset estimated by that
+// connection's handshake. Recv discards the context; RecvDelivery
+// surfaces it for journey stitching.
+type Delivery struct {
+	Msg Message
+	// Aux is the frame's auxiliary metadata part, nil on version-1
+	// connections and on unflagged frames.
+	Aux []byte
+	// RecvNanos is trace.NowNanos() at the moment the frame was fully
+	// read off the wire.
+	RecvNanos int64
+	// Peer is the sender's advertised hello label, or its remote
+	// address for legacy peers (which advertise nothing).
+	Peer string
+	// ClockOffset estimates (sender trace clock − local trace clock)
+	// for the connection this message arrived on; valid only when
+	// OffsetValid. Re-sampled on every redial.
+	ClockOffset time.Duration
+	OffsetValid bool
+	// RTT is the round-trip time of the winning clock-probe sample —
+	// the offset's error bound is half of it.
+	RTT time.Duration
+}
+
 // Pull is the bind-side socket: it accepts any number of PUSH peers and
 // fair-queues their messages into Recv.
 type Pull struct {
 	ln       net.Listener
-	inbox    *queue.Queue[Message]
+	inbox    *queue.Queue[Delivery]
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 	readErrs atomic.Int64
+	legacy   atomic.Int64
+
+	// label and counters are set through SetLabel/SetCounters: the
+	// accept loop is already running when the constructor returns, so
+	// plain public fields would race with readLoop goroutines.
+	label    string
+	counters *metrics.Registry
+}
+
+// SetLabel sets this peer's advertised name in the version-2 hello
+// (typically the pipeline node name). Call it right after construction:
+// peers that completed their handshake earlier saw the old value.
+func (p *Pull) SetLabel(label string) {
+	p.mu.Lock()
+	p.label = label
+	p.mu.Unlock()
+}
+
+// SetCounters directs CtrLegacyPeers increments to reg.
+func (p *Pull) SetCounters(reg *metrics.Registry) {
+	p.mu.Lock()
+	p.counters = reg
+	p.mu.Unlock()
 }
 
 // NewPull binds a PULL socket on addr (e.g. "127.0.0.1:0").
@@ -495,7 +653,7 @@ func NewPull(addr string) (*Pull, error) {
 func NewPullFromListener(ln net.Listener) *Pull {
 	p := &Pull{
 		ln:    ln,
-		inbox: queue.New[Message](256),
+		inbox: queue.New[Delivery](256),
 		conns: make(map[net.Conn]struct{}),
 	}
 	p.wg.Add(1)
@@ -508,6 +666,10 @@ func NewPullFromListener(ln net.Listener) *Pull {
 // each one is a partially received message that was discarded, which the
 // sending side retransmits whole on its next connection.
 func (p *Pull) ReadErrors() int64 { return p.readErrs.Load() }
+
+// LegacyPeers returns the number of accepted connections that spoke
+// protocol version 1 (no hello).
+func (p *Pull) LegacyPeers() int64 { return p.legacy.Load() }
 
 // Addr returns the bound address (useful with ":0").
 func (p *Pull) Addr() net.Addr { return p.ln.Addr() }
@@ -540,8 +702,31 @@ func (p *Pull) readLoop(conn net.Conn) {
 		p.mu.Unlock()
 		conn.Close()
 	}()
+	p.mu.Lock()
+	label := p.label
+	counters := p.counters
+	p.mu.Unlock()
+	ps, r, err := serverHandshake(conn, label)
+	if err != nil {
+		// A connection that dies mid-handshake discarded no frame, but
+		// like a framing error it tore down before a clean EOF.
+		if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			p.readErrs.Add(1)
+		}
+		return
+	}
+	if ps.version < 2 {
+		p.legacy.Add(1)
+		if counters != nil {
+			counters.Counter(CtrLegacyPeers).Inc()
+		}
+	}
+	peer := ps.label
+	if peer == "" {
+		peer = conn.RemoteAddr().String()
+	}
 	for {
-		msg, err := readMessage(conn)
+		msg, aux, err := readMessageFrom(r, ps.version >= 2)
 		if err != nil {
 			// Clean EOF is a peer closing between messages; our own
 			// Close also surfaces here. Anything else tore down a
@@ -551,7 +736,16 @@ func (p *Pull) readLoop(conn net.Conn) {
 			}
 			return
 		}
-		if err := p.inbox.Put(msg); err != nil {
+		d := Delivery{
+			Msg:         msg,
+			Aux:         aux,
+			RecvNanos:   trace.NowNanos(),
+			Peer:        peer,
+			ClockOffset: ps.offset,
+			OffsetValid: ps.offsetValid,
+			RTT:         ps.rtt,
+		}
+		if err := p.inbox.Put(d); err != nil {
 			return // socket closed
 		}
 	}
@@ -561,11 +755,18 @@ func (p *Pull) readLoop(conn net.Conn) {
 // until one arrives. It returns ErrClosed after Close once the inbox has
 // drained.
 func (p *Pull) Recv() (Message, error) {
-	msg, err := p.inbox.Get()
+	d, err := p.RecvDelivery()
+	return d.Msg, err
+}
+
+// RecvDelivery is Recv keeping the transport context: the auxiliary
+// part, arrival timestamp, peer label and clock-offset estimate.
+func (p *Pull) RecvDelivery() (Delivery, error) {
+	d, err := p.inbox.Get()
 	if err == queue.ErrClosed {
-		return nil, ErrClosed
+		return Delivery{}, ErrClosed
 	}
-	return msg, err
+	return d, err
 }
 
 // Close stops accepting, closes peers and the inbox (Recv drains

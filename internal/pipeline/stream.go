@@ -37,6 +37,13 @@ func newOpTracer(tr *trace.Tracer, node string) *opTracer {
 // compress → queue-wait → send → receive → queue-wait → decompress —
 // can be followed across tracks in the Perfetto UI.
 func (o *opTracer) span(stage string, worker int, t0 time.Time, bytes int, seq uint64) {
+	o.spanFlow(stage, worker, t0, bytes, seq, 0)
+}
+
+// spanFlow is span for a stage that terminates a cross-host flow: with a
+// nonzero fid the span carries the flow's consuming end, so the viewer
+// draws the journey arrow from the sender's wire span into this one.
+func (o *opTracer) spanFlow(stage string, worker int, t0 time.Time, bytes int, seq uint64, fid uint64) {
 	if o == nil {
 		return
 	}
@@ -48,6 +55,8 @@ func (o *opTracer) span(stage string, worker int, t0 time.Time, bytes int, seq u
 		Process:  o.node,
 		Track:    worker,
 		Args:     map[string]any{"bytes": bytes, "seq": seq},
+		FlowID:   fid,
+		FlowIn:   fid != 0,
 	})
 }
 
@@ -91,6 +100,13 @@ func (so *stageObserver) done(worker int, t0 time.Time, bytes int, seq uint64) {
 	so.trc.span(so.stage, worker, t0, bytes, seq)
 }
 
+// doneFlow is done with a journey flow terminating at this span.
+func (so *stageObserver) doneFlow(worker int, t0 time.Time, bytes int, seq uint64, fid uint64) {
+	so.lat.ObserveDuration(time.Since(t0))
+	so.meter.Add(bytes)
+	so.trc.spanFlow(so.stage, worker, t0, bytes, seq, fid)
+}
+
 // watchQueue registers live depth, high-water and cumulative blocked-time
 // gauges for q, polled at scrape/sample time.
 func watchQueue[T any](reg *metrics.Registry, name string, q *queue.Queue[T]) {
@@ -118,6 +134,14 @@ type Chunk struct {
 	// enqAt is stamped just before the chunk enters an inter-stage
 	// queue; the consuming stage turns it into a queue-wait observation.
 	enqAt time.Time
+
+	// wire is the sender-side trace context under construction, stamped
+	// at each stage boundary and shipped as the frame's aux part. Nil
+	// unless SenderOptions.WireTrace is on.
+	wire *wireCtx
+	// journey is the receiver-side record of a frame that arrived with
+	// a trace context; closed out by the journeyRecorder at delivery.
+	journey *chunkJourney
 }
 
 // message header:
@@ -235,6 +259,11 @@ type SenderOptions struct {
 	// Dial overrides the transport dialer — the hook fault plans
 	// (faults.Injector.Dialer) attach to.
 	Dial func(addr string) (net.Conn, error)
+	// WireTrace ships a per-chunk trace context (identity + stage
+	// timestamps) as each frame's auxiliary part, letting a v2 receiver
+	// stitch cross-host chunk journeys. Off, the hot path is unchanged:
+	// no stamping, no aux framing.
+	WireTrace bool
 }
 
 // RunSender streams chunks from Source through the configured
@@ -270,6 +299,7 @@ func RunSender(opts SenderOptions) error {
 	push.WriteTimeout = opts.WriteTimeout
 	push.Dial = opts.Dial
 	push.Counters = opts.Metrics
+	push.Label = opts.Cfg.Node
 	defer push.Close()
 	for _, peer := range opts.Peers {
 		push.Connect(peer)
@@ -304,6 +334,14 @@ func RunSender(opts SenderOptions) error {
 				return
 			}
 			c := Chunk{Seq: seq, Stream: opts.StreamID, Data: raw, RawLen: len(raw)}
+			if opts.WireTrace {
+				c.wire = &wireCtx{Version: wireCtxVersion, Seq: c.Seq, Stream: c.Stream}
+				if feedTo == sendQ {
+					// No compress stage: the feeder's Put is the
+					// send-queue entry.
+					c.wire.Enqueue = trace.NowNanos()
+				}
+			}
 			seq++
 			c.enqAt = time.Now()
 			if err := feedTo.Put(c); err != nil {
@@ -344,6 +382,9 @@ func RunSender(opts SenderOptions) error {
 				}
 				obs.dequeued(c, worker)
 				t0 := time.Now()
+				if c.wire != nil {
+					c.wire.CompressStart = trace.NowNanos()
+				}
 				bound := lz4.CompressBound(len(c.Data))
 				if cap(buf) < bound {
 					buf = make([]byte, bound)
@@ -365,6 +406,11 @@ func RunSender(opts SenderOptions) error {
 					c.Packed = true
 				}
 				obs.done(worker, t0, c.RawLen, c.Seq)
+				if c.wire != nil {
+					now := trace.NowNanos()
+					c.wire.CompressEnd = now
+					c.wire.Enqueue = now
+				}
 				c.enqAt = time.Now()
 				if err := sendQ.Put(c); err != nil {
 					return nil // receiver side gone; drain out
@@ -391,9 +437,20 @@ func RunSender(opts SenderOptions) error {
 				}
 				obs.dequeued(c, worker)
 				t0 := time.Now()
+				if c.wire != nil {
+					c.wire.Dequeue = trace.NowNanos()
+				}
 				sum := crc32.Checksum(c.Data, crcTable)
-				if err := push.Send(msgq.Message{encodeHeader(c, sum), c.Data}); err != nil {
-					return fmt.Errorf("sending chunk %d: %w", c.Seq, err)
+				msg := msgq.Message{encodeHeader(c, sum), c.Data}
+				var sendErr error
+				if c.wire != nil {
+					c.wire.Send = trace.NowNanos()
+					sendErr = push.SendTagged(msg, encodeWireCtx(*c.wire))
+				} else {
+					sendErr = push.Send(msg)
+				}
+				if sendErr != nil {
+					return fmt.Errorf("sending chunk %d: %w", c.Seq, sendErr)
 				}
 				obs.done(worker, t0, len(c.Data), c.Seq)
 			}
@@ -503,11 +560,14 @@ func RunReceiver(opts ReceiverOptions) error {
 		}
 	}
 	defer pull.Close()
+	pull.SetLabel(opts.Cfg.Node)
+	pull.SetCounters(opts.Metrics)
 	if opts.Ready != nil {
 		opts.Ready <- pull.Addr().String()
 	}
 
 	tracer := newOpTracer(opts.Tracer, opts.Cfg.Node)
+	journeys := newJourneyRecorder(opts.Metrics, tracer)
 	var decQ *queue.Queue[Chunk]
 	if hasDec && decGroup.Count > 0 {
 		decQ = queue.New[Chunk](opts.QueueCap)
@@ -639,13 +699,14 @@ func RunReceiver(opts ReceiverOptions) error {
 				}
 			}()
 			for {
-				msg, err := pull.Recv()
+				d, err := pull.RecvDelivery()
 				if err == msgq.ErrClosed {
 					return nil
 				}
 				if err != nil {
 					return failStop(err)
 				}
+				msg := d.Msg
 				t0 := time.Now()
 				if len(msg) != 2 {
 					if err := quarantine(fmt.Errorf("pipeline: message with %d parts", len(msg))); err != nil {
@@ -667,7 +728,27 @@ func RunReceiver(opts ReceiverOptions) error {
 					continue
 				}
 				c.Data = msg[1]
-				obs.done(worker, t0, len(c.Data), c.Seq)
+				// A wire trace context is advisory: a frame whose aux
+				// part fails to decode (or describes a different chunk)
+				// still delivers — only the journey is lost.
+				if len(d.Aux) > 0 {
+					if wc, err := decodeWireCtx(d.Aux); err != nil || wc.Seq != c.Seq || wc.Stream != c.Stream {
+						journeys.badCtx.Inc()
+					} else {
+						c.journey = &chunkJourney{
+							ctx:         wc,
+							recvNanos:   d.RecvNanos,
+							offset:      d.ClockOffset,
+							offsetValid: d.OffsetValid,
+							peer:        d.Peer,
+						}
+					}
+				}
+				if c.journey != nil {
+					obs.doneFlow(worker, t0, len(c.Data), c.Seq, flowID(c.Stream, c.Seq))
+				} else {
+					obs.done(worker, t0, len(c.Data), c.Seq)
+				}
 				if decQ != nil {
 					c.enqAt = time.Now()
 					if err := decQ.Put(c); err != nil {
@@ -678,6 +759,7 @@ func RunReceiver(opts ReceiverOptions) error {
 				if err := deliver(c); err != nil {
 					return failStop(err)
 				}
+				journeys.finish(c.journey, trace.NowNanos())
 			}
 		}))
 	}
@@ -714,6 +796,7 @@ func RunReceiver(opts ReceiverOptions) error {
 				if err := deliver(c); err != nil {
 					return failStop(err)
 				}
+				journeys.finish(c.journey, trace.NowNanos())
 			}
 		}))
 	}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"math"
+	runtimemetrics "runtime/metrics"
+
+	"numastream/internal/metrics"
+)
+
+// Go runtime health gauges exported through /metrics. Callback gauges:
+// nothing is sampled until a scrape asks, so an idle telemetry endpoint
+// costs zero.
+const (
+	GaugeGoroutines  = "go_goroutines"
+	GaugeHeapBytes   = "go_heap_bytes"
+	GaugeGCPauseSecs = "go_gc_pause_total_seconds"
+)
+
+// runtime/metrics sample names behind the gauges.
+const (
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleHeapBytes  = "/memory/classes/heap/objects:bytes"
+	sampleGCPauses   = "/gc/pauses:seconds"
+)
+
+func readSample(name string) runtimemetrics.Value {
+	s := []runtimemetrics.Sample{{Name: name}}
+	runtimemetrics.Read(s)
+	return s[0].Value
+}
+
+// RegisterRuntimeGauges wires Go runtime health into reg: live goroutine
+// count, heap-object bytes, and total GC pause time. ServeWith calls it
+// on every served registry; it is idempotent per registry (re-registering
+// replaces the callback with an identical one).
+func RegisterRuntimeGauges(reg *metrics.Registry) {
+	reg.RegisterGauge(GaugeGoroutines, func() float64 {
+		if v := readSample(sampleGoroutines); v.Kind() == runtimemetrics.KindUint64 {
+			return float64(v.Uint64())
+		}
+		return 0
+	})
+	reg.RegisterGauge(GaugeHeapBytes, func() float64 {
+		if v := readSample(sampleHeapBytes); v.Kind() == runtimemetrics.KindUint64 {
+			return float64(v.Uint64())
+		}
+		return 0
+	})
+	reg.RegisterGauge(GaugeGCPauseSecs, func() float64 {
+		v := readSample(sampleGCPauses)
+		if v.Kind() != runtimemetrics.KindFloat64Histogram {
+			return 0
+		}
+		return histogramTotal(v.Float64Histogram())
+	})
+}
+
+// histogramTotal estimates the sum of all observations in a
+// runtime/metrics histogram as Σ count × bucket midpoint. The runtime
+// exposes GC pauses only as a distribution, so the "total pause" series
+// is an estimate bounded by the bucket widths — amply precise for a
+// health gauge watching for pause-time growth.
+func histogramTotal(h *runtimemetrics.Float64Histogram) float64 {
+	if h == nil || len(h.Buckets) < 2 {
+		return 0
+	}
+	var total float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		switch {
+		case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+			continue // unbounded both ways: no usable estimate
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		total += float64(count) * mid
+	}
+	return total
+}

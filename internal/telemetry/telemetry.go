@@ -4,8 +4,14 @@
 //
 //	/metrics      Prometheus text exposition format, hand-rolled (no
 //	              client library): per-stage byte/item counters and Gbps
-//	              gauges, failure-event counters, queue-depth gauges and
-//	              log-scale latency histogram buckets.
+//	              gauges, failure-event counters, queue-depth gauges,
+//	              log-scale latency histogram buckets (nanosecond series
+//	              doubled as seconds-converted series), and Go runtime
+//	              health gauges.
+//	/healthz      readiness: 200 "ok" while the server is up.
+//	/trace        (ServeWith with a Tracer) live Chrome trace-event JSON
+//	              snapshot of the run so far — load it at ui.perfetto.dev
+//	              without waiting for the process to exit.
 //	/debug/vars   the standard expvar JSON dump (the registry is
 //	              published under "numastream").
 //	/debug/pprof  the standard net/http/pprof profiles.
@@ -28,6 +34,7 @@ import (
 	"sync/atomic"
 
 	"numastream/internal/metrics"
+	"numastream/internal/trace"
 )
 
 // Server serves telemetry for one registry until Close.
@@ -42,9 +49,22 @@ var expvarReg atomic.Pointer[metrics.Registry]
 
 var publishOnce sync.Once
 
+// Options extends Serve with optional wiring.
+type Options struct {
+	// Tracer, when non-nil, is exposed at /trace as a live Chrome
+	// trace-event JSON snapshot.
+	Tracer *trace.Tracer
+}
+
 // Serve starts a telemetry server for reg on addr (":0" picks a free
 // port; read it back with Addr).
 func Serve(addr string, reg *metrics.Registry) (*Server, error) {
+	return ServeWith(addr, reg, Options{})
+}
+
+// ServeWith is Serve with Options. Every served registry also gains the
+// Go runtime health gauges (goroutines, heap bytes, GC pause total).
+func ServeWith(addr string, reg *metrics.Registry, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -65,11 +85,24 @@ func Serve(addr string, reg *metrics.Registry) (*Server, error) {
 		}))
 	})
 
+	RegisterRuntimeGauges(reg)
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		WritePrometheus(w, reg)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	if opts.Tracer != nil {
+		tr := opts.Tracer
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			tr.WriteJSON(w)
+		})
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -114,6 +147,13 @@ func sanitize(name string) string {
 // gauges map directly; histograms emit the classic _bucket{le=...} /
 // _sum / _count triple with cumulative buckets. Every metric carries the
 // numastream_ prefix.
+//
+// Histograms whose name ends in _ns (every latency series the pipeline
+// records) are additionally rendered as a *_seconds histogram with le
+// boundaries and sum divided by 1e9 — the Prometheus-idiomatic base
+// unit, and the series dashboards quote (chunk_e2e_seconds,
+// chunk_wire_seconds). The raw _ns series stays: its integer boundaries
+// are what the repo's own tooling and tests key on.
 func WritePrometheus(w io.Writer, reg *metrics.Registry) {
 	for _, m := range reg.Snapshots() {
 		n := "numastream_" + sanitize(m.Name)
@@ -143,5 +183,17 @@ func WritePrometheus(w io.Writer, reg *metrics.Registry) {
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
 		fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
 		fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+
+		if !strings.HasSuffix(h.Name, "_ns") {
+			continue
+		}
+		sec := "numastream_" + sanitize(strings.TrimSuffix(h.Name, "_ns")) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", sec)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", sec, float64(b.Le)/1e9, b.Count)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", sec, h.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", sec, float64(h.Sum)/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", sec, h.Count)
 	}
 }

@@ -1,0 +1,22 @@
+package trace
+
+import "time"
+
+// The tracing clock: a process-wide monotonic epoch. Cross-host chunk
+// journeys need timestamps that (a) never jump backwards (NTP slews the
+// wall clock mid-stream) and (b) can be compared across two processes
+// once a clock offset between them is known. Nanoseconds since a fixed
+// per-process epoch give (a) for free — time.Since reads Go's monotonic
+// clock — and the msgq handshake's ping/pong probe supplies the offset
+// for (b).
+var epoch = time.Now()
+
+// Epoch returns the process's trace epoch: the instant NowNanos counts
+// from. The returned Time carries a monotonic reading, so durations
+// derived from it compose with NowNanos values exactly.
+func Epoch() time.Time { return epoch }
+
+// NowNanos returns monotonic nanoseconds since the process trace epoch.
+// This is the timestamp format carried in wire trace contexts and
+// exchanged by the clock-offset probe.
+func NowNanos() int64 { return int64(time.Since(epoch)) }

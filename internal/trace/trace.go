@@ -14,7 +14,15 @@ import (
 	"sync"
 )
 
-// Event is one Chrome trace duration event ("ph":"X").
+// Event is one Chrome trace duration event ("ph":"X"). An event may
+// additionally participate in a *flow*: a directed arrow the Perfetto UI
+// draws between spans on different tracks or processes (a chunk's "send"
+// span on the sender linked to its "receive" span on the receiver). A
+// span with FlowOut emits the flow-start point ("ph":"s") at its start
+// timestamp; a span with FlowIn emits the terminating point ("ph":"f",
+// binding point "e"). Both carry the same FlowID, which the caller
+// derives from stable chunk identity (stream, sequence) — never from
+// insertion order — so concurrent writers produce identical ids.
 type Event struct {
 	Name     string  // operation label, e.g. "decompress"
 	Category string  // task class
@@ -23,6 +31,10 @@ type Event struct {
 	Process  string  // machine name
 	Track    int     // core id
 	Args     map[string]any
+
+	FlowID  uint64 // nonzero: this span participates in flow FlowID
+	FlowOut bool   // span is the flow's producing end
+	FlowIn  bool   // span is the flow's consuming end
 }
 
 // Tracer accumulates events. Safe for concurrent use (real-mode
@@ -68,14 +80,77 @@ func (t *Tracer) Dropped() int64 {
 	return t.dropped
 }
 
-// Events returns a snapshot sorted by start time.
+// Events returns a snapshot in a deterministic total order. Concurrent
+// Add calls append in whatever order the scheduler picks, so sorting by
+// start time alone (with an unstable sort) used to leave tied events in
+// run-dependent positions — and a merged two-process trace is full of
+// ties (both tracks start at 0). The full tie-break chain below makes
+// Events, and therefore WriteJSON, byte-stable for a given event set no
+// matter how many writers raced.
 func (t *Tracer) Events() []Event {
 	t.mu.Lock()
 	out := make([]Event, len(t.events))
 	copy(out, t.events)
 	t.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.Slice(out, func(i, j int) bool { return eventLess(out[i], out[j]) })
 	return out
+}
+
+// eventLess is a total order over events: start time first, then every
+// identity field, so no two distinct events ever compare equal.
+func eventLess(a, b Event) bool {
+	switch {
+	case a.Start != b.Start:
+		return a.Start < b.Start
+	case a.Process != b.Process:
+		return a.Process < b.Process
+	case a.Track != b.Track:
+		return a.Track < b.Track
+	case a.Name != b.Name:
+		return a.Name < b.Name
+	case a.Category != b.Category:
+		return a.Category < b.Category
+	case a.Duration != b.Duration:
+		return a.Duration < b.Duration
+	default:
+		return a.FlowID < b.FlowID
+	}
+}
+
+// Merge copies every event of o (and its drop count) into t — the
+// multi-process merge step when two nodes of a run traced into separate
+// Tracers in one process. Cross-host merging happens upstream: the
+// receiver stitches offset-corrected sender spans into its own tracer as
+// it delivers chunks.
+func (t *Tracer) Merge(o *Tracer) {
+	if o == nil || o == t {
+		return
+	}
+	events := o.Events()
+	dropped := o.Dropped()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range events {
+		if t.limit > 0 && len(t.events) >= t.limit {
+			t.dropped++
+			continue
+		}
+		t.events = append(t.events, e)
+	}
+	t.dropped += dropped
+}
+
+// AdjustProcess shifts the start of every recorded event of the named
+// process by delta seconds — post-hoc clock-offset correction for spans
+// that were recorded on a remote timeline before the offset was known.
+func (t *Tracer) AdjustProcess(process string, delta float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.events {
+		if t.events[i].Process == process {
+			t.events[i].Start += delta
+		}
+	}
 }
 
 // chromeEvent is the wire format of the trace-event spec.
@@ -83,22 +158,34 @@ type chromeEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
 	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`  // microseconds
-	Dur  float64        `json:"dur"` // microseconds
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
 	Pid  string         `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // flow id ("s"/"f" events)
+	BP   string         `json:"bp,omitempty"` // flow binding point
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// WriteJSON writes the events as a Chrome trace (JSON array form). When
-// the limit dropped events, a trailing metadata event ("trace_dropped",
-// ph "M") carries the count in args.dropped, so a truncated trace is
-// visibly truncated in the viewer.
+// flowName labels the flow arrows in the viewer.
+const flowName = "chunk"
+
+// WriteJSON writes the events as a Chrome trace (JSON array form).
+// Spans marked FlowOut/FlowIn are followed by their flow point events
+// ("ph":"s" / "ph":"f", binding point "e") at the span's start timestamp
+// on the same pid/tid, which is how the viewer binds the arrow to the
+// enclosing slice. Flow ids come verbatim from Event.FlowID — content-
+// derived, not assigned at write time — and events are emitted in the
+// deterministic Events() order, so the same event set serializes
+// identically regardless of Add interleaving. When the limit dropped
+// events, a trailing metadata event ("trace_dropped", ph "M") carries
+// the count in args.dropped, so a truncated trace is visibly truncated
+// in the viewer.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	events := t.Events()
-	out := make([]chromeEvent, len(events), len(events)+1)
-	for i, e := range events {
-		out[i] = chromeEvent{
+	out := make([]chromeEvent, 0, len(events)+1)
+	for _, e := range events {
+		out = append(out, chromeEvent{
 			Name: e.Name,
 			Cat:  e.Category,
 			Ph:   "X",
@@ -107,6 +194,26 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			Pid:  e.Process,
 			Tid:  e.Track,
 			Args: e.Args,
+		})
+		if e.FlowID == 0 || (!e.FlowOut && !e.FlowIn) {
+			continue
+		}
+		flow := chromeEvent{
+			Name: flowName,
+			Cat:  "journey",
+			Ts:   e.Start * 1e6,
+			Pid:  e.Process,
+			Tid:  e.Track,
+			ID:   fmt.Sprintf("0x%x", e.FlowID),
+		}
+		if e.FlowOut {
+			flow.Ph = "s"
+			out = append(out, flow)
+		}
+		if e.FlowIn {
+			flow.Ph = "f"
+			flow.BP = "e"
+			out = append(out, flow)
 		}
 	}
 	if d := t.Dropped(); d > 0 {

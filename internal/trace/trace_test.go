@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestAddAndEventsSorted(t *testing.T) {
@@ -125,6 +126,162 @@ func TestSummaryAggregates(t *testing.T) {
 	}
 	if !strings.Contains(s, "src/send") {
 		t.Fatalf("Summary missing src/send:\n%s", s)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	a := NowNanos()
+	b := NowNanos()
+	if a < 0 || b < a {
+		t.Fatalf("NowNanos not monotonic: %d then %d", a, b)
+	}
+	if Epoch().IsZero() {
+		t.Fatal("Epoch is zero")
+	}
+	// Epoch + NowNanos must track the monotonic clock: converting a
+	// NowNanos reading back through Epoch lands within the bracket.
+	n := NowNanos()
+	if d := time.Since(Epoch().Add(time.Duration(n))); d < 0 || d > time.Second {
+		t.Fatalf("Epoch/NowNanos disagree by %v", d)
+	}
+}
+
+func TestFlowEventsEmitted(t *testing.T) {
+	tr := New(0)
+	tr.Add(Event{Name: "send", Process: "src", Track: 1, Start: 0.001, Duration: 0.001,
+		FlowID: 0xbeef, FlowOut: true})
+	tr.Add(Event{Name: "receive", Process: "gw", Track: 2, Start: 0.003, Duration: 0.001,
+		FlowID: 0xbeef, FlowIn: true})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	// 2 duration events + 1 flow start + 1 flow finish.
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4:\n%s", len(events), buf.String())
+	}
+	var s, f map[string]any
+	for _, e := range events {
+		switch e["ph"] {
+		case "s":
+			s = e
+		case "f":
+			f = e
+		}
+	}
+	if s == nil || f == nil {
+		t.Fatalf("missing flow phases:\n%s", buf.String())
+	}
+	if s["id"] != "0xbeef" || f["id"] != "0xbeef" {
+		t.Fatalf("flow ids = %v / %v, want stable 0xbeef", s["id"], f["id"])
+	}
+	if s["pid"] != "src" || f["pid"] != "gw" {
+		t.Fatalf("flow pids = %v / %v", s["pid"], f["pid"])
+	}
+	if s["ts"].(float64) != 1000 || f["ts"].(float64) != 3000 {
+		t.Fatalf("flow ts = %v / %v, want span starts", s["ts"], f["ts"])
+	}
+	if f["bp"] != "e" {
+		t.Fatalf("flow finish bp = %v, want \"e\"", f["bp"])
+	}
+}
+
+// TestWriteJSONDeterministicUnderConcurrentAdd is the regression test
+// for nondeterministic merged traces: two writers interleave events with
+// colliding start times, and WriteJSON must serialize the identical byte
+// stream every run — Perfetto-stable flow/event ids and ordering.
+func TestWriteJSONDeterministicUnderConcurrentAdd(t *testing.T) {
+	render := func() string {
+		tr := New(0)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				proc := []string{"sender", "receiver"}[w]
+				for j := 0; j < 200; j++ {
+					tr.Add(Event{
+						Name:    "op",
+						Start:   float64(j % 10), // deliberate cross-writer ties
+						Process: proc,
+						Track:   j % 4,
+						FlowID:  uint64(w)<<32 | uint64(j),
+						FlowOut: w == 0,
+						FlowIn:  w == 1,
+					})
+				}
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return buf.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d serialized differently under concurrent Add", i)
+		}
+	}
+}
+
+func TestMergeCombinesEventsAndDrops(t *testing.T) {
+	a := New(0)
+	a.Add(Event{Name: "x", Process: "sender", Start: 1})
+	b := New(1)
+	b.Add(Event{Name: "y", Process: "receiver", Start: 2})
+	b.Add(Event{Name: "overflow", Start: 3}) // dropped by b's limit
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", a.Len())
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("merged Dropped = %d, want 1 (inherited)", a.Dropped())
+	}
+	ev := a.Events()
+	if ev[0].Process != "sender" || ev[1].Process != "receiver" {
+		t.Fatalf("merged events: %+v", ev)
+	}
+	a.Merge(a) // self-merge must be a no-op
+	if a.Len() != 2 {
+		t.Fatalf("self-merge changed Len to %d", a.Len())
+	}
+}
+
+func TestMergeRespectsLimit(t *testing.T) {
+	dst := New(1)
+	dst.Add(Event{Name: "kept"})
+	src := New(0)
+	src.Add(Event{Name: "spill1"})
+	src.Add(Event{Name: "spill2"})
+	dst.Merge(src)
+	if dst.Len() != 1 || dst.Dropped() != 2 {
+		t.Fatalf("Len=%d Dropped=%d, want 1/2", dst.Len(), dst.Dropped())
+	}
+}
+
+func TestAdjustProcessShiftsOnlyThatProcess(t *testing.T) {
+	tr := New(0)
+	tr.Add(Event{Name: "a", Process: "sender", Start: 1.0})
+	tr.Add(Event{Name: "b", Process: "receiver", Start: 1.0})
+	tr.AdjustProcess("sender", -0.25)
+	for _, e := range tr.Events() {
+		want := 1.0
+		if e.Process == "sender" {
+			want = 0.75
+		}
+		if e.Start != want {
+			t.Fatalf("%s/%s Start = %v, want %v", e.Process, e.Name, e.Start, want)
+		}
 	}
 }
 
