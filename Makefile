@@ -14,11 +14,12 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrent transport/pipeline paths
-# (reconnect, send horizons, quarantine accounting, queues), the
-# telemetry layer (histograms, sampler, live endpoint), and the tracing
-# layer (concurrent Add/WriteJSON, chunk framing).
+# (reconnect, send horizons, quarantine accounting, queues), the buffer
+# pool (lease aliasing, cross-domain steals), the telemetry layer
+# (histograms, sampler, live endpoint), and the tracing layer
+# (concurrent Add/WriteJSON, chunk framing).
 race:
-	$(GO) test -race ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
+	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
 
 # The single CI entry point: build, vet, tests, race pass.
 check: build vet test race
@@ -34,3 +35,13 @@ bench:
 BENCH_OUT ?= bench.json
 bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -json > $(BENCH_OUT)
+
+# Benchmark regression gate: re-run only the gated hot-path benchmarks
+# and diff them against the committed baseline snapshot. Fails when
+# either regresses by more than 15% ns/op. BENCH_BASE selects the
+# baseline (the newest committed BENCH_PR*.json).
+BENCH_BASE ?= BENCH_PR5.json
+GATED_BENCHMARKS = BenchmarkLoopbackPipeline BenchmarkQueueThroughput
+bench-gate:
+	$(GO) test -run '^$$' -bench '^(BenchmarkLoopbackPipeline|BenchmarkQueueThroughput)$$' -benchmem -json > bench-gate.json
+	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASE) -current bench-gate.json $(GATED_BENCHMARKS)

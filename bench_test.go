@@ -250,6 +250,7 @@ func BenchmarkLZ4Decompress(b *testing.B) {
 // BenchmarkQueueThroughput measures the inter-stage queue under a
 // producer/consumer pair.
 func BenchmarkQueueThroughput(b *testing.B) {
+	b.ReportAllocs()
 	q := queue.New[int](64)
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -272,8 +273,14 @@ func BenchmarkQueueThroughput(b *testing.B) {
 }
 
 // BenchmarkLoopbackPipeline measures the real goroutine pipeline over
-// loopback TCP with compression, end to end.
-func BenchmarkLoopbackPipeline(b *testing.B) {
+// loopback TCP with compression, end to end. Buffer pooling is on, as
+// in production; BenchmarkLoopbackPipelineNoPool is the -bufpool=off
+// ablation, so allocs/op quantifies exactly what pooling removes.
+func BenchmarkLoopbackPipeline(b *testing.B)       { benchLoopback(b, false) }
+func BenchmarkLoopbackPipelineNoPool(b *testing.B) { benchLoopback(b, true) }
+
+func benchLoopback(b *testing.B, disablePool bool) {
+	b.ReportAllocs()
 	const chunkSize = 1 << 20
 	chunk := bytes.Repeat([]byte("tomography pixels "), chunkSize/18+1)[:chunkSize]
 	host := numastream.SyntheticTopology(1, 4)
@@ -297,13 +304,14 @@ func BenchmarkLoopbackPipeline(b *testing.B) {
 	go func() {
 		recvDone <- numastream.StartReceiver(numastream.ReceiverOptions{
 			Cfg: rcvCfg, Topo: host, Bind: "127.0.0.1:0",
-			Expect: b.N, Ready: ready,
+			Expect: b.N, Ready: ready, DisableBufPool: disablePool,
 		})
 	}()
 	addr := <-ready
 	sent := 0
 	err = numastream.StartSender(numastream.SenderOptions{
 		Cfg: sndCfg, Topo: host, Peers: []string{addr},
+		DisableBufPool: disablePool,
 		Source: func() []byte {
 			if sent >= b.N {
 				return nil

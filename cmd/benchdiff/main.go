@@ -1,0 +1,71 @@
+// Command benchdiff compares two `go test -bench -json` snapshots and
+// fails when a gated benchmark regressed beyond the threshold. It is
+// the CI benchmark gate:
+//
+//	make bench-json BENCH_OUT=bench.json
+//	benchdiff -baseline BENCH_PR4.json -current bench.json \
+//	    BenchmarkLoopbackPipeline BenchmarkQueueThroughput
+//
+// Exit status: 0 when every gated benchmark is present in both files
+// and within the regression budget, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numastream/internal/benchcmp"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline test2json snapshot (required)")
+	current := flag.String("current", "", "current test2json snapshot (required)")
+	maxRegress := flag.Float64("max-regress", 0.15, "allowed ns/op regression as a fraction (0.15 = +15%)")
+	flag.Parse()
+
+	names := flag.Args()
+	if *baseline == "" || *current == "" || len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline old.json -current new.json [-max-regress 0.15] BenchmarkName...")
+		os.Exit(2)
+	}
+
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fatal(err)
+	}
+
+	deltas, failures := benchcmp.Compare(base, cur, names, *maxRegress)
+	for _, d := range deltas {
+		fmt.Println(d)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within +%.0f%% of baseline\n", len(deltas), *maxRegress*100)
+}
+
+func parseFile(path string) (map[string]benchcmp.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res, err := benchcmp.ParseTest2JSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

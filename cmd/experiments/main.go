@@ -42,8 +42,15 @@ func main() {
 	degradedReal := flag.Bool("degraded-real", false, "run the real-mode fault injection loopback (robustness)")
 	traceWire := flag.String("trace-wire", "", "run the wire-journey loopback (real pipeline, WireTrace on) and write the merged cross-process Chrome trace to this file")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; real-mode harnesses record into the served registry")
+	bufpoolMode := flag.String("bufpool", "on", "NUMA-aware buffer pooling in the real-execution harnesses: on | off (off = per-chunk allocation, for pooled-vs-unpooled A/B sweeps)")
 	flag.Var(&figs, "fig", "figure to regenerate (5,6,7,8,9,11,12,14 or all); repeatable")
 	flag.Parse()
+
+	if *bufpoolMode != "on" && *bufpoolMode != "off" {
+		fmt.Fprintf(os.Stderr, "experiments: -bufpool must be on or off, got %q\n", *bufpoolMode)
+		os.Exit(2)
+	}
+	experiments.DisableBufPool = *bufpoolMode == "off"
 
 	if len(figs) == 0 {
 		figs = figList{"all"}

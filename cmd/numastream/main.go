@@ -33,15 +33,16 @@ import (
 
 func main() {
 	var (
-		configPath = flag.String("config", "", "node config JSON (required)")
-		peers      = flag.String("peers", "", "comma-separated receiver addresses (sender)")
-		bind       = flag.String("bind", ":5555", "listen address (receiver)")
-		chunks     = flag.Int("chunks", 32, "chunks to stream / expect")
-		scale      = flag.Int("scale", 4, "detector downscale factor (1 = full 11.06 MB chunks)")
-		synthetic  = flag.Bool("synthetic", false, "use patterned chunks instead of tomography projections")
-		serve      = flag.Bool("serve", false, "receiver: serve until interrupted instead of expecting -chunks")
-		tracePath  = flag.String("trace", "", "write a Chrome trace of this node's workers to the file; on a receiver fed by a -trace-wire sender this is the merged cross-host journey trace")
-		traceWire  = flag.Bool("trace-wire", false, "sender: ship a per-chunk trace context on every frame so a new-protocol receiver can stitch cross-host chunk journeys (no effect against legacy receivers)")
+		configPath  = flag.String("config", "", "node config JSON (required)")
+		peers       = flag.String("peers", "", "comma-separated receiver addresses (sender)")
+		bind        = flag.String("bind", ":5555", "listen address (receiver)")
+		chunks      = flag.Int("chunks", 32, "chunks to stream / expect")
+		scale       = flag.Int("scale", 4, "detector downscale factor (1 = full 11.06 MB chunks)")
+		synthetic   = flag.Bool("synthetic", false, "use patterned chunks instead of tomography projections")
+		serve       = flag.Bool("serve", false, "receiver: serve until interrupted instead of expecting -chunks")
+		tracePath   = flag.String("trace", "", "write a Chrome trace of this node's workers to the file; on a receiver fed by a -trace-wire sender this is the merged cross-host journey trace")
+		traceWire   = flag.Bool("trace-wire", false, "sender: ship a per-chunk trace context on every frame so a new-protocol receiver can stitch cross-host chunk journeys (no effect against legacy receivers)")
+		bufpoolMode = flag.String("bufpool", "on", "NUMA-aware buffer pooling on the hot path: on | off (off = per-chunk allocation, the pre-pooling behaviour; for A/B runs and leak triage)")
 
 		// Telemetry (the flight recorder).
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the node runs")
@@ -69,6 +70,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "numastream: -config is required")
 		os.Exit(2)
 	}
+	if *bufpoolMode != "on" && *bufpoolMode != "off" {
+		fmt.Fprintf(os.Stderr, "numastream: -bufpool must be on or off, got %q\n", *bufpoolMode)
+		os.Exit(2)
+	}
+	disableBufPool := *bufpoolMode == "off"
 	data, err := os.ReadFile(*configPath)
 	if err != nil {
 		fatal(err)
@@ -121,6 +127,8 @@ func main() {
 			SendHorizon:  *sendHorizon,
 			WriteTimeout: *writeTimeout,
 			WireTrace:    *traceWire,
+
+			DisableBufPool: disableBufPool,
 		}
 		var plan faults.Plan
 		plan.Seed = *faultSeed
@@ -147,6 +155,8 @@ func main() {
 			Tracer:       tracer,
 			FailHard:     *failHard,
 			MaxBadChunks: *maxBadChunks,
+
+			DisableBufPool: disableBufPool,
 		}
 		if *serve {
 			// Serve until SIGINT/SIGTERM.

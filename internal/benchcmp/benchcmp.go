@@ -1,0 +1,192 @@
+// Package benchcmp parses `go test -bench -json` (test2json) event
+// streams and compares benchmark results across runs. It is the library
+// behind cmd/benchdiff and the `make bench-gate` CI step, which fails a
+// PR when a gated benchmark regresses beyond a threshold against the
+// committed baseline snapshot (BENCH_PR*.json at the repo root).
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Name string // full name including sub-benchmark path, GOMAXPROCS suffix stripped
+	N    int64  // iterations
+
+	NsPerOp     float64
+	MBPerS      float64
+	BytesPerOp  float64 // allocated B/op (-benchmem)
+	AllocsPerOp float64 // allocs/op (-benchmem)
+
+	// Custom metrics reported via b.ReportMetric, keyed by unit
+	// (e.g. "Gbps", "tuned-Gbps").
+	Metrics map[string]float64
+}
+
+// event is the subset of a test2json record the parser needs.
+type event struct {
+	Action  string
+	Package string
+	Test    string
+	Output  string
+}
+
+// ParseTest2JSON reads a test2json stream (`go test -bench -json`) and
+// returns the benchmark results keyed by name. The one subtlety is that
+// test2json splits a single benchmark result line across several
+// "output" events (the padded name in one, the measurements in the
+// next), so the parser concatenates each (package, test) output stream
+// before scanning for result lines.
+func ParseTest2JSON(r io.Reader) (map[string]Result, error) {
+	type streamKey struct{ pkg, test string }
+	streams := map[streamKey]*strings.Builder{}
+	var order []streamKey
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("benchcmp: malformed test2json line %q: %w", string(line), err)
+		}
+		if ev.Action != "output" || ev.Output == "" {
+			continue
+		}
+		k := streamKey{ev.Package, ev.Test}
+		b, ok := streams[k]
+		if !ok {
+			b = &strings.Builder{}
+			streams[k] = b
+			order = append(order, k)
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchcmp: reading stream: %w", err)
+	}
+
+	results := map[string]Result{}
+	for _, k := range order {
+		for _, line := range strings.Split(streams[k].String(), "\n") {
+			res, ok := parseBenchLine(line)
+			if ok {
+				results[res.Name] = res
+			}
+		}
+	}
+	return results, nil
+}
+
+// parseBenchLine parses one flat benchmark result line of the form
+//
+//	BenchmarkName[-P]  <N>  <value> <unit>  <value> <unit> ...
+//
+// and reports ok=false for anything else (RUN/PASS banners, bare name
+// lines without measurements, prose).
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: stripProcs(fields[0]), N: n, Metrics: map[string]float64{}}
+	sawMeasurement := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "MB/s":
+			res.MBPerS = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		default:
+			res.Metrics[unit] = val
+		}
+		sawMeasurement = true
+	}
+	return res, sawMeasurement
+}
+
+// stripProcs removes the -GOMAXPROCS suffix go test appends to
+// benchmark names when procs != 1, so names compare across machines.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Delta is one gated benchmark's baseline-vs-current comparison.
+// Ratio is current/baseline ns/op: 1.10 means 10% slower.
+type Delta struct {
+	Name       string
+	Base, Cur  Result
+	Ratio      float64
+	Regression bool // Ratio exceeds the gate's threshold
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%-40s %12.0f ns/op -> %12.0f ns/op  (%+.1f%%)",
+		d.Name, d.Base.NsPerOp, d.Cur.NsPerOp, (d.Ratio-1)*100)
+}
+
+// Compare gates the named benchmarks: each must be present in both runs
+// and its current ns/op must stay within maxRegress (e.g. 0.15 = +15%)
+// of the baseline. It returns every comparison (for reporting) plus the
+// list of failures; a missing benchmark on either side is a failure —
+// a gate that silently skips a renamed benchmark gates nothing.
+func Compare(base, cur map[string]Result, names []string, maxRegress float64) (deltas []Delta, failures []string) {
+	for _, name := range names {
+		b, okB := base[name]
+		c, okC := cur[name]
+		switch {
+		case !okB && !okC:
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline and current run", name))
+			continue
+		case !okB:
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline", name))
+			continue
+		case !okC:
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		d := Delta{Name: name, Base: b, Cur: c}
+		if b.NsPerOp > 0 {
+			d.Ratio = c.NsPerOp / b.NsPerOp
+		} else {
+			d.Ratio = 1
+		}
+		if d.Ratio > 1+maxRegress {
+			d.Regression = true
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, limit +%.0f%%)",
+				name, c.NsPerOp, b.NsPerOp, (d.Ratio-1)*100, maxRegress*100))
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, failures
+}

@@ -1,0 +1,145 @@
+package benchcmp
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// ev builds one test2json output event line.
+func ev(test, output string) string {
+	var b strings.Builder
+	b.WriteString(`{"Time":"2026-01-01T00:00:00Z","Action":"output","Package":"numastream"`)
+	if test != "" {
+		b.WriteString(`,"Test":"` + test + `"`)
+	}
+	b.WriteString(`,"Output":"` + output + `"}` + "\n")
+	return b.String()
+}
+
+func TestParseSplitResultLine(t *testing.T) {
+	// test2json splits the result line: padded name in one event, the
+	// measurements in the next. The parser must join them.
+	stream := ev("BenchmarkLoopbackPipeline", `BenchmarkLoopbackPipeline         \t`) +
+		ev("BenchmarkLoopbackPipeline", `     657\t   1807493 ns/op\t 580.13 MB/s\t 1327078 B/op\t       9 allocs/op\n`) +
+		ev("", `PASS\n`)
+	got, err := ParseTest2JSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkLoopbackPipeline"]
+	if !ok {
+		t.Fatalf("benchmark not parsed; got %v", got)
+	}
+	if r.N != 657 || r.NsPerOp != 1807493 || r.MBPerS != 580.13 || r.BytesPerOp != 1327078 || r.AllocsPerOp != 9 {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseCustomMetricsAndProcsSuffix(t *testing.T) {
+	stream := ev("BenchmarkFig12EndToEnd",
+		`BenchmarkFig12EndToEnd-8 \t      76\t  15556840 ns/op\t        36.99 baseline-Gbps\t       111.0 tuned-Gbps\t 5883760 B/op\t  162611 allocs/op\n`)
+	got, err := ParseTest2JSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["BenchmarkFig12EndToEnd"]
+	if !ok {
+		t.Fatalf("suffix not stripped; got keys %v", keys(got))
+	}
+	if r.Metrics["baseline-Gbps"] != 36.99 || r.Metrics["tuned-Gbps"] != 111.0 {
+		t.Errorf("custom metrics %v", r.Metrics)
+	}
+	// A name whose last dash segment is not a number must stay intact.
+	if stripProcs("BenchmarkFig5Placement/N0,1") != "BenchmarkFig5Placement/N0,1" {
+		t.Error("stripProcs mangled a non-suffixed name")
+	}
+}
+
+func TestParseIgnoresBannersAndProse(t *testing.T) {
+	stream := ev("", `goos: linux\n`) +
+		ev("BenchmarkX", `=== RUN   BenchmarkX\n`) +
+		ev("BenchmarkX", `BenchmarkX\n`) + // bare name line, no measurements
+		ev("BenchmarkX", `BenchmarkX \t 100\t 50.0 ns/op\n`) +
+		ev("", `ok  \tnumastream\t1.0s\n`)
+	got, err := ParseTest2JSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["BenchmarkX"].NsPerOp != 50.0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestParseRejectsMalformedJSON(t *testing.T) {
+	if _, err := ParseTest2JSON(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 1000},
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 62},
+	}
+	cur := map[string]Result{
+		"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 1100}, // +10%: within a 15% gate
+		"BenchmarkB": {Name: "BenchmarkB", NsPerOp: 80},   // +29%: regression
+	}
+	deltas, failures := Compare(base, cur, []string{"BenchmarkA", "BenchmarkB"}, 0.15)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas %v", deltas)
+	}
+	if deltas[0].Regression || !deltas[1].Regression {
+		t.Errorf("regression flags wrong: %v", deltas)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkB") {
+		t.Errorf("failures %v", failures)
+	}
+
+	// Improvements pass.
+	cur["BenchmarkB"] = Result{Name: "BenchmarkB", NsPerOp: 30}
+	if _, failures := Compare(base, cur, []string{"BenchmarkA", "BenchmarkB"}, 0.15); len(failures) != 0 {
+		t.Errorf("improvement flagged: %v", failures)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := map[string]Result{"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 10}}
+	_, failures := Compare(base, map[string]Result{}, []string{"BenchmarkA", "BenchmarkGone"}, 0.15)
+	if len(failures) != 2 {
+		t.Errorf("want 2 failures (missing current, missing both), got %v", failures)
+	}
+}
+
+// TestParseCommittedBaseline parses the real committed snapshot: the
+// gate is only as good as its ability to read its own baseline file.
+func TestParseCommittedBaseline(t *testing.T) {
+	f, err := os.Open("../../BENCH_PR4.json")
+	if err != nil {
+		t.Skipf("baseline snapshot not present: %v", err)
+	}
+	defer f.Close()
+	got, err := ParseTest2JSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"BenchmarkLoopbackPipeline", "BenchmarkQueueThroughput"} {
+		r, ok := got[name]
+		if !ok {
+			t.Errorf("baseline missing %s (parsed %d results)", name, len(got))
+			continue
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s parsed with ns/op %v", name, r.NsPerOp)
+		}
+	}
+}
+
+func keys(m map[string]Result) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

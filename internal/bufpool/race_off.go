@@ -1,0 +1,7 @@
+//go:build !race
+
+package bufpool
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. See race_on.go.
+const RaceEnabled = false

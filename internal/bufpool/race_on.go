@@ -1,0 +1,8 @@
+//go:build race
+
+package bufpool
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-count assertions skip under race: the detector
+// instruments every allocation and makes allocs/op meaningless.
+const RaceEnabled = true

@@ -270,6 +270,7 @@ func DegradedLoopbackInto(reg *metrics.Registry, chunks, chunkBytes int) (Degrad
 		recvErr <- pipeline.RunReceiver(pipeline.ReceiverOptions{
 			Cfg: rCfg, Topo: topo, Bind: "127.0.0.1:0",
 			Expect: chunks, Ready: ready, Metrics: reg,
+			DisableBufPool: DisableBufPool,
 			Sink: func(c pipeline.Chunk) error {
 				delivered++ // sinkMu-serialized by the receiver
 				return nil
@@ -281,8 +282,9 @@ func DegradedLoopbackInto(reg *metrics.Registry, chunks, chunkBytes int) (Degrad
 	sent := 0
 	if err := pipeline.RunSender(pipeline.SenderOptions{
 		Cfg: sCfg, Topo: topo, Peers: []string{addr}, Metrics: reg,
-		Dial:        inj.Dialer(nil),
-		SendHorizon: 10 * time.Second,
+		Dial:           inj.Dialer(nil),
+		SendHorizon:    10 * time.Second,
+		DisableBufPool: DisableBufPool,
 		Source: func() []byte {
 			mu.Lock()
 			defer mu.Unlock()

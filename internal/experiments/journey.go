@@ -70,6 +70,7 @@ func WireJourneyLoopback(reg *metrics.Registry, chunks, chunkBytes int) (*trace.
 		recvErr <- pipeline.RunReceiver(pipeline.ReceiverOptions{
 			Cfg: rCfg, Topo: topo, Bind: "127.0.0.1:0",
 			Expect: chunks, Ready: ready, Metrics: reg, Tracer: tr,
+			DisableBufPool: DisableBufPool,
 		})
 	}()
 	addr := <-ready
@@ -79,6 +80,7 @@ func WireJourneyLoopback(reg *metrics.Registry, chunks, chunkBytes int) (*trace.
 	if err := pipeline.RunSender(pipeline.SenderOptions{
 		Cfg: sCfg, Topo: topo, Peers: []string{addr},
 		Metrics: metrics.NewRegistry(), WireTrace: true,
+		DisableBufPool: DisableBufPool,
 		Source: func() []byte {
 			mu.Lock()
 			defer mu.Unlock()

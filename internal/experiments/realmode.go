@@ -20,6 +20,12 @@ import (
 // numbers reflect that machine, not the paper's testbed; the harness
 // exists so the library's real mode is measurable anywhere.
 
+// DisableBufPool turns off NUMA-aware buffer pooling in every
+// real-execution harness in this package (real-mode sweep, degraded
+// mode, wire-journey loopback). The experiments CLI sets it from
+// -bufpool=off so pooled-vs-unpooled A/B sweeps need no code change.
+var DisableBufPool bool
+
 // RealResult is one real-mode measurement.
 type RealResult struct {
 	CompressThreads int
@@ -64,6 +70,7 @@ func RealLoopback(compressThreads, chunks, chunkBytes int) (RealResult, error) {
 		recvErr <- pipeline.RunReceiver(pipeline.ReceiverOptions{
 			Cfg: rCfg, Topo: topo, Bind: "127.0.0.1:0",
 			Expect: chunks, Ready: ready, Metrics: recvReg,
+			DisableBufPool: DisableBufPool,
 		})
 	}()
 	addr := <-ready
@@ -72,6 +79,7 @@ func RealLoopback(compressThreads, chunks, chunkBytes int) (RealResult, error) {
 	sent := 0
 	if err := pipeline.RunSender(pipeline.SenderOptions{
 		Cfg: sCfg, Topo: topo, Peers: []string{addr}, Metrics: sndReg,
+		DisableBufPool: DisableBufPool,
 		Source: func() []byte {
 			mu.Lock()
 			defer mu.Unlock()

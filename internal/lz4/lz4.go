@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 const (
@@ -72,7 +73,23 @@ func CompressBlock(src, dst []byte) (int, error) {
 		return emitLastLiterals(src, dst, 0, 0), nil
 	}
 
-	var table [hashSize]int32 // candidate position + 1; 0 means empty
+	// The 256 KiB hash table is too large for the stack, and one heap
+	// allocation per block would dominate the steady-state allocation
+	// profile of a pipeline compressing thousands of chunks. Rent a
+	// table and clear it (a memclr is far cheaper than an allocation
+	// plus the GC pressure it brings).
+	table := tablePool.Get().(*[hashSize]int32)
+	clear(table[:])
+	n := compressBlock(src, dst, table)
+	tablePool.Put(table)
+	return n, nil
+}
+
+// tablePool recycles fast-path hash tables across CompressBlock calls;
+// candidate position + 1 per entry, 0 means empty.
+var tablePool = sync.Pool{New: func() any { return new([hashSize]int32) }}
+
+func compressBlock(src, dst []byte, table *[hashSize]int32) int {
 
 	sn := len(src) - mfLimit // last position where a match may start
 	matchEnd := len(src) - lastLiterals
@@ -115,7 +132,7 @@ func CompressBlock(src, dst []byte) (int, error) {
 		anchor = si
 	}
 
-	return emitLastLiterals(src, dst, anchor, di), nil
+	return emitLastLiterals(src, dst, anchor, di)
 }
 
 // emitSequence writes one token + literals + offset + match-length

@@ -212,16 +212,27 @@ func TestHandshakeOffsetResampledOnRedial(t *testing.T) {
 	defer pull2.Close()
 	pull2.SetLabel("gw2")
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if err := push.Send(Message{[]byte("two")}); err == nil {
-			break
-		} else if time.Now().After(deadline) {
-			t.Fatalf("Send never recovered: %v", err)
+	// A Send can "succeed" into the dead connection's kernel buffer
+	// before the peer-death monitor notices the reset — TCP gives no
+	// delivery guarantee without application acks — so keep resending
+	// until the restarted Pull actually observes a frame.
+	stop := make(chan struct{})
+	sender := make(chan struct{})
+	go func() {
+		defer close(sender)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			push.Send(Message{[]byte("two")})
+			time.Sleep(10 * time.Millisecond)
 		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	}()
 	d, err := pull2.RecvDelivery()
+	close(stop)
+	<-sender
 	if err != nil {
 		t.Fatalf("RecvDelivery after redial: %v", err)
 	}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"numastream/internal/bufpool"
 	"numastream/internal/metrics"
 	"numastream/internal/queue"
 	"numastream/internal/trace"
@@ -201,6 +202,78 @@ type pushConn struct {
 	writeMu sync.Mutex
 	broken  bool
 	gone    chan struct{}
+
+	// Vectored-write scratch, guarded by writeMu. hdrScratch holds the
+	// frame's count/length headers; vecScratch is the iovec list handed
+	// to net.Buffers.WriteTo (one writev syscall on a TCP conn instead
+	// of 2+2·parts Write calls — and no packed copy of header+payload).
+	// Both keep their backing across frames, so a steady-state send
+	// allocates nothing. vecConsume is the copy WriteTo consumes in
+	// place: a field rather than a local, because taking a local slice's
+	// address for the pointer-receiver WriteTo heap-escapes the header —
+	// one allocation per frame.
+	hdrScratch []byte
+	vecScratch net.Buffers
+	vecConsume net.Buffers
+}
+
+// writeVectored serializes msg (plus aux, when non-nil, in version-2
+// flagged framing) onto w as one vectored write. Byte-for-byte
+// identical on the wire to writeMessage/writeMessageAux — those remain
+// as the reference implementations the equivalence tests diff against.
+// Callers must hold pc.writeMu (the scratch buffers are per-connection
+// state).
+func (pc *pushConn) writeVectored(w io.Writer, msg Message, aux []byte) error {
+	if len(msg) > MaxParts {
+		return fmt.Errorf("msgq: %d parts exceeds limit %d", len(msg), MaxParts)
+	}
+	nHdrs := 1 + len(msg)
+	if aux != nil {
+		nHdrs++
+	}
+	if cap(pc.hdrScratch) < 4*nHdrs {
+		pc.hdrScratch = make([]byte, 4*nHdrs)
+	}
+	hdrs := pc.hdrScratch[:4*nHdrs]
+	vec := pc.vecScratch[:0]
+
+	cnt := uint32(len(msg))
+	if aux != nil {
+		cnt = uint32(len(msg)+1) | auxFlag
+	}
+	binary.LittleEndian.PutUint32(hdrs[0:4], cnt)
+	vec = append(vec, hdrs[0:4])
+	off := 4
+	// Inline (not a closure): a captured-variable closure costs one heap
+	// allocation per frame, which the scratch-reuse test pins at zero.
+	for i := 0; i <= len(msg); i++ {
+		var part []byte
+		if i < len(msg) {
+			part = msg[i]
+		} else if aux != nil {
+			part = aux
+		} else {
+			break
+		}
+		if len(part) > MaxPartSize {
+			return fmt.Errorf("msgq: part of %d bytes exceeds limit", len(part))
+		}
+		binary.LittleEndian.PutUint32(hdrs[off:off+4], uint32(len(part)))
+		vec = append(vec, hdrs[off:off+4])
+		off += 4
+		if len(part) > 0 {
+			// A zero-length part still gets its length header, but an
+			// empty iovec would be a wasted writev slot.
+			vec = append(vec, part)
+		}
+	}
+	// WriteTo consumes its receiver in place (advancing the header,
+	// nilling written entries so nothing is retained); keep the base-0
+	// header in vecScratch so the backing array is reused next frame.
+	pc.vecScratch = vec
+	pc.vecConsume = vec
+	_, err := pc.vecConsume.WriteTo(w)
+	return err
 }
 
 // Push is the connect-side socket: it distributes messages round-robin
@@ -352,6 +425,20 @@ func (p *Push) maintain(addr string) {
 		p.conns = append(p.conns, pc)
 		p.cond.Broadcast()
 		p.mu.Unlock()
+		// Peer-death monitor: a PULL peer never sends application data
+		// after the handshake, so a Read returning at all means the
+		// connection died (FIN/RST) or the peer is violating the
+		// protocol — either way, drop it now. Without this, a dead
+		// peer is only discovered by a failing write, and a single
+		// vectored write can land a whole frame in the kernel buffer
+		// "successfully" before the reset is seen — one frame lost per
+		// outage instead of zero-ish. drop is idempotent, so racing
+		// the write-failure path is harmless.
+		go func() {
+			var b [1]byte
+			pc.conn.Read(b[:])
+			p.drop(pc)
+		}()
 		if established == 0 {
 			p.count(CtrDials)
 			p.observe(HistDialLatency, time.Since(dialT0))
@@ -523,12 +610,11 @@ func (p *Push) send(msg Message, aux []byte) error {
 		if p.WriteTimeout > 0 {
 			pc.conn.SetWriteDeadline(time.Now().Add(p.WriteTimeout))
 		}
-		var err error
-		if aux != nil && pc.version >= 2 {
-			err = writeMessageAux(pc.conn, msg, aux)
-		} else {
-			err = writeMessage(pc.conn, msg)
+		effAux := aux
+		if pc.version < 2 {
+			effAux = nil // legacy peer: aux is advisory, drop it
 		}
+		err := pc.writeVectored(pc.conn, msg, effAux)
 		if p.WriteTimeout > 0 {
 			pc.conn.SetWriteDeadline(time.Time{})
 		}
@@ -601,6 +687,12 @@ type Delivery struct {
 	// RTT is the round-trip time of the winning clock-probe sample —
 	// the offset's error bound is half of it.
 	RTT time.Duration
+	// Frame, non-nil only on a Pull with a buffer pool attached
+	// (SetBufferPool), owns the pooled buffers backing Msg and Aux. The
+	// consumer must call Frame.Release once it is done with those bytes
+	// — Release is nil-safe, so unconditional release works for both
+	// paths.
+	Frame *Frame
 }
 
 // Pull is the bind-side socket: it accepts any number of PUSH peers and
@@ -620,6 +712,30 @@ type Pull struct {
 	// plain public fields would race with readLoop goroutines.
 	label    string
 	counters *metrics.Registry
+
+	// pool/poolDomain, set through SetBufferPool, switch the read loops
+	// to pooled frames.
+	pool       *bufpool.Pool
+	poolDomain int
+}
+
+// SetBufferPool makes the read loops rent part buffers from pool (on
+// behalf of the given NUMA domain — typically the domain the receive
+// workers are pinned to) instead of allocating per part. Call it right
+// after construction, like SetLabel: connections accepted earlier keep
+// the allocating path.
+//
+// With a pool attached, every Delivery carries a non-nil Frame and the
+// consumer MUST use RecvDelivery and call Frame.Release when done —
+// plain Recv would discard the Frame and strand its leases. Messages
+// still queued at Close are likewise stranded (the buffers themselves
+// are garbage-collected; only the pool's outstanding gauge remembers
+// them).
+func (p *Pull) SetBufferPool(pool *bufpool.Pool, domain int) {
+	p.mu.Lock()
+	p.pool = pool
+	p.poolDomain = domain
+	p.mu.Unlock()
 }
 
 // SetLabel sets this peer's advertised name in the version-2 hello
@@ -705,6 +821,8 @@ func (p *Pull) readLoop(conn net.Conn) {
 	p.mu.Lock()
 	label := p.label
 	counters := p.counters
+	pool := p.pool
+	poolDomain := p.poolDomain
 	p.mu.Unlock()
 	ps, r, err := serverHandshake(conn, label)
 	if err != nil {
@@ -726,7 +844,20 @@ func (p *Pull) readLoop(conn net.Conn) {
 		peer = conn.RemoteAddr().String()
 	}
 	for {
-		msg, aux, err := readMessageFrom(r, ps.version >= 2)
+		var (
+			msg   Message
+			aux   []byte
+			frame *Frame
+			err   error
+		)
+		if pool != nil {
+			frame, err = readMessagePooled(r, ps.version >= 2, pool, poolDomain)
+			if err == nil {
+				msg, aux = frame.Msg(), frame.Aux()
+			}
+		} else {
+			msg, aux, err = readMessageFrom(r, ps.version >= 2)
+		}
 		if err != nil {
 			// Clean EOF is a peer closing between messages; our own
 			// Close also surfaces here. Anything else tore down a
@@ -744,9 +875,11 @@ func (p *Pull) readLoop(conn net.Conn) {
 			ClockOffset: ps.offset,
 			OffsetValid: ps.offsetValid,
 			RTT:         ps.rtt,
+			Frame:       frame,
 		}
 		if err := p.inbox.Put(d); err != nil {
-			return // socket closed
+			frame.Release() // socket closed; don't strand the leases
+			return
 		}
 	}
 }

@@ -313,27 +313,39 @@ func TestPushReconnectAfterPeerRestart(t *testing.T) {
 	// redialing and must find the new peer on its own.
 
 	deadline := time.After(5 * time.Second)
+	// A Send over the dying conn can land in its kernel buffer and
+	// report success even though the frame is lost (TCP has no
+	// delivery acks), so resend until the new peer observes a frame.
+	stop := make(chan struct{})
+	sender := make(chan struct{})
+	go func() {
+		defer close(sender)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			push.Send(Message{[]byte("two")})
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
 	got := make(chan Message, 1)
 	go func() {
-		for {
-			// Sends may fail over the dying conn before the new one
-			// is live; Send retries internally across conns.
-			if err := push.Send(Message{[]byte("two")}); err != nil {
-				return
-			}
-			m, err := pull2.Recv()
-			if err == nil {
-				got <- m
-				return
-			}
+		if m, err := pull2.Recv(); err == nil {
+			got <- m
 		}
 	}()
 	select {
 	case m := <-got:
+		close(stop)
+		<-sender
 		if string(m[0]) != "two" {
 			t.Fatalf("after restart got %q", m)
 		}
 	case <-deadline:
+		close(stop)
+		<-sender
 		t.Fatal("no message delivered after peer restart")
 	}
 }

@@ -22,6 +22,21 @@ type PinSpec struct {
 	// slice pins every worker to the same set (e.g. a whole NUMA
 	// domain); per-worker singleton sets pin each worker to one core.
 	CPUSets [][]int
+	// Domains[i] is the NUMA domain worker i (mod len) runs on —
+	// parallel to CPUSets. The buffer pool keys its shards on this, so
+	// a worker rents memory local to where it is pinned. Empty means
+	// "no domain knowledge" (unpinned workers): DomainFor returns 0 and
+	// the pool degrades to a single logical shard.
+	Domains []int
+}
+
+// DomainFor returns the NUMA domain worker i runs on, 0 when the spec
+// carries no domain information.
+func (p PinSpec) DomainFor(worker int) int {
+	if len(p.Domains) == 0 {
+		return 0
+	}
+	return p.Domains[worker%len(p.Domains)]
 }
 
 // Unpinned is the zero PinSpec: OS placement.
@@ -34,7 +49,7 @@ func DomainPin(topo numa.HostTopology, node int) (PinSpec, error) {
 	if !ok {
 		return PinSpec{}, fmt.Errorf("pipeline: no such NUMA node %d", node)
 	}
-	return PinSpec{CPUSets: [][]int{n.CPUs}}, nil
+	return PinSpec{CPUSets: [][]int{n.CPUs}, Domains: []int{node}}, nil
 }
 
 // CorePin returns a PinSpec placing worker i on cores[i mod len] alone.
@@ -50,10 +65,12 @@ func CorePin(cores []int) PinSpec {
 // nodes (the Table 1 E/F placement).
 func SplitPin(topo numa.HostTopology) PinSpec {
 	sets := make([][]int, 0, len(topo.Nodes))
+	doms := make([]int, 0, len(topo.Nodes))
 	for _, n := range topo.Nodes {
 		sets = append(sets, n.CPUs)
+		doms = append(doms, n.ID)
 	}
-	return PinSpec{CPUSets: sets}
+	return PinSpec{CPUSets: sets, Domains: doms}
 }
 
 // Pool is a set of worker goroutines running one pipeline stage.

@@ -1,0 +1,21 @@
+package pipeline
+
+// growBuf is a worker-local scratch buffer that grows monotonically and
+// never shrinks: with a stable chunk size (the steady state of every
+// experiment in the paper) the first chunk sizes it and every later
+// ensure() is a bounds check, not an allocation. It is the fallback
+// scratch for -bufpool=off runs — the pooled path rents from bufpool
+// instead — and the direct fix for the old per-chunk
+// `buf := make([]byte, 0)` + regrow pattern in the compress worker.
+type growBuf struct {
+	b []byte
+}
+
+// ensure returns a scratch slice of length n, reusing the backing array
+// whenever it is already big enough.
+func (g *growBuf) ensure(n int) []byte {
+	if cap(g.b) < n {
+		g.b = make([]byte, n)
+	}
+	return g.b[:n]
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"numastream/internal/bufpool"
 	"numastream/internal/lz4"
 	"numastream/internal/metrics"
 	"numastream/internal/msgq"
@@ -142,6 +143,15 @@ type Chunk struct {
 	// journey is the receiver-side record of a frame that arrived with
 	// a trace context; closed out by the journeyRecorder at delivery.
 	journey *chunkJourney
+
+	// lease is the pooled buffer backing Data, when Data was rented
+	// from a bufpool (compressed block on the sender, decompressed
+	// output on the receiver). The stage that finishes with Data
+	// releases it. Nil whenever Data is caller- or GC-owned.
+	lease *bufpool.Buf
+	// frame is the transport frame whose pooled part buffers back Data
+	// on the receive path; released after the payload's last read.
+	frame *msgq.Frame
 }
 
 // message header:
@@ -162,16 +172,23 @@ const (
 // accelerated on amd64/arm64).
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-func encodeHeader(c Chunk, crc uint32) []byte {
-	h := make([]byte, headerLen)
+// encodeHeaderInto fills a caller-owned (typically stack) header array
+// — the send worker's per-frame path, which must not allocate.
+func encodeHeaderInto(h *[headerLen]byte, c Chunk, crc uint32) {
 	binary.LittleEndian.PutUint64(h[0:], c.Seq)
 	binary.LittleEndian.PutUint32(h[8:], uint32(c.RawLen))
 	binary.LittleEndian.PutUint32(h[12:], c.Stream)
+	h[16] = 0
 	if c.Packed {
 		h[16] = flagPacked
 	}
 	binary.LittleEndian.PutUint32(h[17:], crc)
-	return h
+}
+
+func encodeHeader(c Chunk, crc uint32) []byte {
+	var h [headerLen]byte
+	encodeHeaderInto(&h, c, crc)
+	return h[:]
 }
 
 func decodeHeader(h []byte) (Chunk, uint32, error) {
@@ -186,7 +203,8 @@ func decodeHeader(h []byte) (Chunk, uint32, error) {
 	}, binary.LittleEndian.Uint32(h[17:]), nil
 }
 
-// pinFor maps a runtime placement onto host CPUs.
+// pinFor maps a runtime placement onto host CPUs, carrying each
+// worker's NUMA domain along so buffer rentals stay local to the pin.
 func pinFor(topo numa.HostTopology, p runtime.Placement) (PinSpec, error) {
 	switch p.Mode {
 	case runtime.Pinned:
@@ -198,9 +216,17 @@ func pinFor(topo numa.HostTopology, p runtime.Placement) (PinSpec, error) {
 			}
 			sets = append(sets, n.CPUs)
 		}
-		return PinSpec{CPUSets: sets}, nil
+		return PinSpec{CPUSets: sets, Domains: append([]int(nil), p.Sockets...)}, nil
 	case runtime.PinnedCores:
-		return CorePin(p.Cores), nil
+		pin := CorePin(p.Cores)
+		for _, c := range p.Cores {
+			d := topo.NodeOfCPU(c)
+			if d < 0 {
+				d = 0 // unknown core: fall back to the first shard
+			}
+			pin.Domains = append(pin.Domains, d)
+		}
+		return pin, nil
 	case runtime.Split:
 		return SplitPin(topo), nil
 	case runtime.OSDefault:
@@ -264,6 +290,27 @@ type SenderOptions struct {
 	// stitch cross-host chunk journeys. Off, the hot path is unchanged:
 	// no stamping, no aux framing.
 	WireTrace bool
+	// BufPool overrides the buffer pool the compress workers rent their
+	// scratch from; nil uses the process-wide bufpool.Default(). Tests
+	// pass a private pool so they can assert its leak accounting.
+	BufPool *bufpool.Pool
+	// DisableBufPool turns pooling off (the -bufpool=off escape hatch):
+	// every stage allocates per chunk as before PR 5, the A/B baseline
+	// for allocator-pressure measurements.
+	DisableBufPool bool
+}
+
+// effectivePool resolves the pool an options struct asks for: nil when
+// disabled (bufpool's nil-receiver mode keeps every call site uniform),
+// the explicit pool when set, the process default otherwise.
+func effectivePool(explicit *bufpool.Pool, disabled bool) *bufpool.Pool {
+	if disabled {
+		return nil
+	}
+	if explicit != nil {
+		return explicit
+	}
+	return bufpool.Default()
 }
 
 // RunSender streams chunks from Source through the configured
@@ -287,6 +334,8 @@ func RunSender(opts SenderOptions) error {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
+	pool := effectivePool(opts.BufPool, opts.DisableBufPool)
+	pool.Register(opts.Metrics)
 
 	nSend := opts.Cfg.Count(runtime.Send)
 	if nSend < 1 {
@@ -371,7 +420,15 @@ func RunSender(opts SenderOptions) error {
 					}()
 				})
 			}()
-			buf := make([]byte, 0)
+			// Pooled mode rents a CompressBound-sized buffer per chunk
+			// (local to this worker's pinned domain) and ships the
+			// compressed block without a packed copy; the send worker
+			// releases the lease after the frame leaves. The escape
+			// hatch keeps the legacy exact-size copy, but out of a
+			// grow-once worker-local scratch instead of per-chunk
+			// make([]byte, bound) regrows.
+			dom := pin.DomainFor(worker)
+			var scratch growBuf
 			for {
 				c, err := compQ.Get()
 				if err == queue.ErrClosed {
@@ -386,20 +443,35 @@ func RunSender(opts SenderOptions) error {
 					c.wire.CompressStart = trace.NowNanos()
 				}
 				bound := lz4.CompressBound(len(c.Data))
-				if cap(buf) < bound {
-					buf = make([]byte, bound)
+				var buf []byte
+				var lease *bufpool.Buf
+				if pool != nil {
+					lease = pool.Get(dom, bound)
+					buf = lease.Bytes()
+				} else {
+					buf = scratch.ensure(bound)
 				}
 				var n int
 				switch opts.Codec {
 				case CodecHC:
-					n, err = lz4.CompressBlockHC(c.Data, buf[:bound], opts.HCDepth)
+					n, err = lz4.CompressBlockHC(c.Data, buf, opts.HCDepth)
 				default:
-					n, err = lz4.CompressBlock(c.Data, buf[:bound])
+					n, err = lz4.CompressBlock(c.Data, buf)
 				}
 				if err != nil {
+					lease.Release()
 					return fmt.Errorf("compressing chunk %d: %w", c.Seq, err)
 				}
-				if n < len(c.Data) {
+				switch {
+				case n >= len(c.Data):
+					// Incompressible: the raw chunk ships as-is.
+					lease.Release()
+				case lease != nil:
+					lease.SetLen(n)
+					c.Data = lease.Bytes()
+					c.lease = lease // released by the send worker
+					c.Packed = true
+				default:
 					packed := make([]byte, n)
 					copy(packed, buf[:n])
 					c.Data = packed
@@ -413,7 +485,8 @@ func RunSender(opts SenderOptions) error {
 				}
 				c.enqAt = time.Now()
 				if err := sendQ.Put(c); err != nil {
-					return nil // receiver side gone; drain out
+					c.lease.Release() // send stage gone; don't strand it
+					return nil        // receiver side gone; drain out
 				}
 			}
 		}))
@@ -426,7 +499,32 @@ func RunSender(opts SenderOptions) error {
 			return err
 		}
 		obs := newStageObserver(opts.Metrics, tracer, "send")
+		var closeOnce sync.Once
+		var live sync.WaitGroup
+		live.Add(nSend)
 		pools = append(pools, Start("send", nSend, pin, func(worker int) error {
+			defer func() {
+				live.Done()
+				closeOnce.Do(func() {
+					go func() {
+						live.Wait()
+						// All send workers are gone. On a failure exit
+						// (dead peers past the horizon) compress workers
+						// may be blocked in sendQ.Put, and RunSender
+						// waits on the compress pool before it closes
+						// anything — close the queue here so the abort
+						// drains instead of wedging. Idempotent on the
+						// normal path, where sendQ is already closed.
+						sendQ.Close()
+					}()
+				})
+			}()
+			// Per-worker frame scratch: the 21-byte header lives on this
+			// frame (not a per-chunk make), and the two-part message
+			// shell is reused — with the vectored writer downstream the
+			// steady-state send path allocates nothing per chunk.
+			var hdr [headerLen]byte
+			msg := msgq.Message{nil, nil}
 			for {
 				c, err := sendQ.Get()
 				if err == queue.ErrClosed {
@@ -441,7 +539,8 @@ func RunSender(opts SenderOptions) error {
 					c.wire.Dequeue = trace.NowNanos()
 				}
 				sum := crc32.Checksum(c.Data, crcTable)
-				msg := msgq.Message{encodeHeader(c, sum), c.Data}
+				encodeHeaderInto(&hdr, c, sum)
+				msg[0], msg[1] = hdr[:], c.Data
 				var sendErr error
 				if c.wire != nil {
 					c.wire.Send = trace.NowNanos()
@@ -449,6 +548,10 @@ func RunSender(opts SenderOptions) error {
 				} else {
 					sendErr = push.Send(msg)
 				}
+				// The compressed block was copied to the wire (or the
+				// send failed terminally); either way its lease is done.
+				c.lease.Release()
+				msg[1] = nil
 				if sendErr != nil {
 					return fmt.Errorf("sending chunk %d: %w", c.Seq, sendErr)
 				}
@@ -507,6 +610,18 @@ type ReceiverOptions struct {
 	// Listener, when non-nil, overrides Bind with an existing listener
 	// (fault-wrapped listeners; the receiver takes ownership).
 	Listener net.Listener
+	// BufPool overrides the buffer pool backing frame receives and
+	// decompression output; nil uses bufpool.Default().
+	//
+	// With pooling on, the Data slice a Sink receives is pooled memory
+	// that is recycled as soon as the Sink returns — a Sink that wants
+	// to keep the bytes must copy them during the call (every Sink in
+	// this repo already does).
+	BufPool *bufpool.Pool
+	// DisableBufPool turns pooling off (the -bufpool=off escape
+	// hatch); chunk buffers are then GC-owned and a Sink may retain
+	// Data freely, as before PR 5.
+	DisableBufPool bool
 }
 
 // Receiver-side failure counters recorded in ReceiverOptions.Metrics.
@@ -542,12 +657,19 @@ func RunReceiver(opts ReceiverOptions) error {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
+	pool := effectivePool(opts.BufPool, opts.DisableBufPool)
+	pool.Register(opts.Metrics)
 
 	nRecv := opts.Cfg.Count(runtime.Receive)
 	if nRecv < 1 {
 		return fmt.Errorf("pipeline: receiver config has no receive threads")
 	}
 	decGroup, hasDec := opts.Cfg.Group(runtime.Decompress)
+	recvGroup, _ := opts.Cfg.Group(runtime.Receive)
+	recvPin, err := pinFor(opts.Topo, recvGroup.Placement)
+	if err != nil {
+		return err
+	}
 
 	var pull *msgq.Pull
 	if opts.Listener != nil {
@@ -562,6 +684,12 @@ func RunReceiver(opts ReceiverOptions) error {
 	defer pull.Close()
 	pull.SetLabel(opts.Cfg.Node)
 	pull.SetCounters(opts.Metrics)
+	if pool != nil {
+		// Frame buffers are rented on behalf of the receive workers'
+		// domain: the read loop does the first touch, but the pages are
+		// recycled within the domain that consumes them.
+		pull.SetBufferPool(pool, recvPin.DomainFor(0))
+	}
 	if opts.Ready != nil {
 		opts.Ready <- pull.Addr().String()
 	}
@@ -677,16 +805,11 @@ func RunReceiver(opts ReceiverOptions) error {
 	var pools []*Pool
 
 	{
-		g, _ := opts.Cfg.Group(runtime.Receive)
-		pin, err := pinFor(opts.Topo, g.Placement)
-		if err != nil {
-			return err
-		}
 		obs := newStageObserver(opts.Metrics, tracer, "receive")
 		var closeOnce sync.Once
 		var live sync.WaitGroup
 		live.Add(nRecv)
-		pools = append(pools, Start("receive", nRecv, pin, func(worker int) error {
+		pools = append(pools, Start("receive", nRecv, recvPin, func(worker int) error {
 			defer func() {
 				live.Done()
 				if decQ != nil {
@@ -708,7 +831,13 @@ func RunReceiver(opts ReceiverOptions) error {
 				}
 				msg := d.Msg
 				t0 := time.Now()
+				// Every exit from this iteration must release d.Frame
+				// exactly once (nil-safe on the unpooled path): on
+				// quarantine it is released here; once it becomes
+				// c.frame, the stage that finishes with the payload
+				// releases it.
 				if len(msg) != 2 {
+					d.Frame.Release()
 					if err := quarantine(fmt.Errorf("pipeline: message with %d parts", len(msg))); err != nil {
 						return err
 					}
@@ -716,18 +845,21 @@ func RunReceiver(opts ReceiverOptions) error {
 				}
 				c, wantCRC, err := decodeHeader(msg[0])
 				if err != nil {
+					d.Frame.Release()
 					if err := quarantine(err); err != nil {
 						return err
 					}
 					continue
 				}
 				if sum := crc32.Checksum(msg[1], crcTable); sum != wantCRC {
+					d.Frame.Release()
 					if err := quarantine(fmt.Errorf("pipeline: chunk %d payload CRC %08x, want %08x", c.Seq, sum, wantCRC)); err != nil {
 						return err
 					}
 					continue
 				}
 				c.Data = msg[1]
+				c.frame = d.Frame
 				// A wire trace context is advisory: a frame whose aux
 				// part fails to decode (or describes a different chunk)
 				// still delivers — only the journey is lost.
@@ -752,14 +884,19 @@ func RunReceiver(opts ReceiverOptions) error {
 				if decQ != nil {
 					c.enqAt = time.Now()
 					if err := decQ.Put(c); err != nil {
+						c.frame.Release() // decompress stage gone
 						return nil
 					}
 					continue
 				}
 				if err := deliver(c); err != nil {
+					c.frame.Release()
 					return failStop(err)
 				}
 				journeys.finish(c.journey, trace.NowNanos())
+				// Delivered straight from the wire: the sink has copied
+				// what it wants, the frame can go home.
+				c.frame.Release()
 			}
 		}))
 	}
@@ -771,6 +908,7 @@ func RunReceiver(opts ReceiverOptions) error {
 		}
 		obs := newStageObserver(opts.Metrics, tracer, "decompress")
 		pools = append(pools, Start("decompress", decGroup.Count, pin, func(worker int) error {
+			dom := pin.DomainFor(worker)
 			for {
 				c, err := decQ.Get()
 				if err == queue.ErrClosed {
@@ -782,21 +920,58 @@ func RunReceiver(opts ReceiverOptions) error {
 				obs.dequeued(c, worker)
 				t0 := time.Now()
 				if c.Packed {
-					raw, err := lz4.Decompress(c.Data, c.RawLen)
-					if err != nil {
-						if err := quarantine(fmt.Errorf("decompressing chunk %d: %w", c.Seq, err)); err != nil {
-							return err
+					// Pooled mode decompresses into a rented buffer on
+					// this worker's domain — the paper's split-domain
+					// placement (Obs. 3) decompresses on the far domain,
+					// and the output pages should live there, not where
+					// the wire frame landed.
+					var raw []byte
+					if pool != nil {
+						lease := pool.Get(dom, c.RawLen)
+						n, derr := lz4.DecompressBlock(c.Data, lease.Bytes())
+						if derr == nil && n != c.RawLen {
+							derr = fmt.Errorf("lz4: decompressed %d bytes, want %d", n, c.RawLen)
 						}
-						continue
+						if derr != nil {
+							lease.Release()
+							c.frame.Release()
+							if err := quarantine(fmt.Errorf("decompressing chunk %d: %w", c.Seq, derr)); err != nil {
+								return err
+							}
+							continue
+						}
+						c.lease = lease
+						raw = lease.Bytes()
+					} else {
+						var derr error
+						raw, derr = lz4.Decompress(c.Data, c.RawLen)
+						if derr != nil {
+							c.frame.Release()
+							if err := quarantine(fmt.Errorf("decompressing chunk %d: %w", c.Seq, derr)); err != nil {
+								return err
+							}
+							continue
+						}
 					}
+					// The wire frame backed only the compressed block;
+					// it is done the moment the block is unpacked.
+					c.frame.Release()
+					c.frame = nil
 					c.Data = raw
 					c.Packed = false
 				}
 				obs.done(worker, t0, c.RawLen, c.Seq)
 				if err := deliver(c); err != nil {
+					c.lease.Release()
+					c.frame.Release()
 					return failStop(err)
 				}
 				journeys.finish(c.journey, trace.NowNanos())
+				// The sink has returned (and copied anything it keeps):
+				// the decompressed lease — and, for chunks that traveled
+				// raw, the wire frame still backing Data — go home.
+				c.lease.Release()
+				c.frame.Release()
 			}
 		}))
 	}

@@ -512,3 +512,32 @@ func TestRealModeTracing(t *testing.T) {
 			count(rTr, "receive"), count(rTr, "decompress"))
 	}
 }
+
+// TestSenderAbortsWhenPeersNeverAppear pins the abort path when every
+// send worker fails (dead peers past the horizon) while compress
+// workers are blocked on a full send queue: RunSender must surface the
+// horizon error instead of wedging in the compress pool's Wait. The
+// tiny QueueCap plus a source much larger than it forces the blocked-
+// Put state before the horizon expires.
+func TestSenderAbortsWhenPeersNeverAppear(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- RunSender(SenderOptions{
+			Cfg:         senderCfg(2, 2),
+			Topo:        testTopo(),
+			Peers:       []string{"127.0.0.1:1"}, // nothing listens here
+			Metrics:     metrics.NewRegistry(),
+			SendHorizon: 300 * time.Millisecond,
+			QueueCap:    2,
+			Source:      chunkSource(64, 32<<10),
+		})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("RunSender returned nil with no live peers")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("RunSender wedged after all send workers failed")
+	}
+}
