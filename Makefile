@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench churn-drill
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,18 @@ vet:
 # (concurrent Add/WriteJSON, chunk framing).
 race:
 	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
+	$(GO) test -race -run 'TestChurn|TestMultiHop' ./internal/cluster/... ./internal/experiments/...
 
-# The single CI entry point: build, vet, tests, race pass.
-check: build vet test race
+# Churn drill: the seeded netsim churn storm (multi-hop topology events,
+# per-event fault attribution) and the real-mode relay kill/restart
+# drill (exactly-once ledger: delivered == sent, dups dropped, no
+# holes). These also run under `make test`; the named target is the
+# quick way to replay just the storm.
+churn-drill:
+	$(GO) test -count=1 -run 'TestChurn|TestMultiHop|TestTopo|TestForwarder|TestLedger' ./internal/faults/... ./internal/cluster/... ./internal/pipeline/... ./internal/experiments/...
+
+# The single CI entry point: build, vet, tests, race pass, churn drill.
+check: build vet test race churn-drill
 
 # Human-readable benchmark run over the root suite (the paper figures,
 # the loopback pipeline, queues, LZ4).
@@ -40,7 +49,7 @@ bench-json:
 # and diff them against the committed baseline snapshot. Fails when
 # either regresses by more than 15% ns/op. BENCH_BASE selects the
 # baseline (the newest committed BENCH_PR*.json).
-BENCH_BASE ?= BENCH_PR5.json
+BENCH_BASE ?= BENCH_PR6.json
 GATED_BENCHMARKS = BenchmarkLoopbackPipeline BenchmarkQueueThroughput
 bench-gate:
 	$(GO) test -run '^$$' -bench '^(BenchmarkLoopbackPipeline|BenchmarkQueueThroughput)$$' -benchmem -json > bench-gate.json

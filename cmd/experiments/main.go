@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"numastream/internal/experiments"
+	"numastream/internal/faults"
 	"numastream/internal/metrics"
 	"numastream/internal/telemetry"
 )
@@ -40,6 +41,10 @@ func main() {
 	dualNIC := flag.Bool("dual-nic", false, "run the dual-NIC gateway study (extension)")
 	degraded := flag.Bool("degraded", false, "run the degraded-mode link fault simulation (robustness)")
 	degradedReal := flag.Bool("degraded-real", false, "run the real-mode fault injection loopback (robustness)")
+	churn := flag.Bool("churn", false, "run the churn-storm simulation: a seeded topology schedule crashes senders and relays on a multi-hop deployment (robustness)")
+	churnReal := flag.Bool("churn-real", false, "run the real-mode churn drill: relay forwarders killed and restarted mid-stream, exactly-once ledger on the gateway (robustness)")
+	churnSeed := flag.Int64("churn-seed", 11, "churn storm RNG seed (-churn)")
+	churnFile := flag.String("churn-file", "", "topology event file replacing the generated storm: '<t> <NODEUP|NODEDOWN|LINKUP|LINKDOWN> <name>' lines, OLSR '<t> <UP|DOWN> <from> <to>' also accepted")
 	traceWire := flag.String("trace-wire", "", "run the wire-journey loopback (real pipeline, WireTrace on) and write the merged cross-process Chrome trace to this file")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; real-mode harnesses record into the served registry")
 	bufpoolMode := flag.String("bufpool", "on", "NUMA-aware buffer pooling in the real-execution harnesses: on | off (off = per-chunk allocation, for pooled-vs-unpooled A/B sweeps)")
@@ -208,6 +213,38 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatDegradedReal(res))
+	}
+	if *churn || *churnReal {
+		var sched faults.TopoSchedule
+		if *churnFile != "" {
+			f, err := os.Open(*churnFile)
+			if err != nil {
+				fail(err)
+			}
+			sched, err = faults.ParseTopoSchedule(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+		}
+		if *churn {
+			res, err := experiments.ChurnSim(*churnSeed, sched)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.FormatChurnSim(res))
+		}
+		if *churnReal {
+			chunks, chunkBytes := 96, 128<<10
+			if *quick {
+				chunks, chunkBytes = 32, 32<<10
+			}
+			res, err := experiments.ChurnLoopbackInto(reg, chunks, chunkBytes, sched)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.FormatChurnReal(res))
+		}
 	}
 	if *traceWire != "" {
 		chunks, chunkBytes := 64, 256<<10

@@ -56,6 +56,7 @@ func main() {
 		// Robustness (receiver).
 		failHard     = flag.Bool("fail-hard", false, "receiver: abort on the first malformed or corrupt chunk instead of quarantining")
 		maxBadChunks = flag.Int("max-bad-chunks", 0, "receiver: abort after more than this many quarantined chunks (0 = no limit)")
+		exactlyOnce  = flag.Bool("exactly-once", false, "receiver: dedup repeated (stream, seq) chunks with the exactly-once ledger; dup_drops and ledger_abandoned land in -telemetry-addr's /metrics")
 
 		// Fault injection (sender transport; for drills and tests).
 		faultSeed         = flag.Int64("fault-seed", 1, "fault plan RNG seed")
@@ -155,6 +156,7 @@ func main() {
 			Tracer:       tracer,
 			FailHard:     *failHard,
 			MaxBadChunks: *maxBadChunks,
+			ExactlyOnce:  *exactlyOnce,
 
 			DisableBufPool: disableBufPool,
 		}

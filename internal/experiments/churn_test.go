@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"numastream/internal/faults"
+)
+
+func TestChurnSimStormDelaysButDelivers(t *testing.T) {
+	res, err := ChurnSim(11, nil)
+	if err != nil {
+		t.Fatalf("ChurnSim: %v", err)
+	}
+	// The acceptance storm: at least 3 node-downs, at least one a relay.
+	if res.NodeDowns < 3 {
+		t.Fatalf("storm has %d node-downs, want >= 3", res.NodeDowns)
+	}
+	if res.RelayDowns < 1 {
+		t.Fatalf("storm never killed a relay")
+	}
+	// The storm must cost something (chunks stalled behind dark links).
+	// The finish may still match the healthy run — mid-stream outages
+	// can be absorbed while compression remains the bottleneck — but it
+	// must never come in earlier.
+	if res.Finish < res.BaseFinish {
+		t.Fatalf("churned finish %.4fs before healthy %.4fs", res.Finish, res.BaseFinish)
+	}
+	if res.FaultDelay <= 0 {
+		t.Fatalf("storm inflicted no fault delay")
+	}
+	// Every down event darkens at least one link (node events take every
+	// attached link dark).
+	for _, im := range res.Impacts {
+		if len(im.Links) == 0 {
+			t.Fatalf("event %v darkens no links", im.Event)
+		}
+	}
+	// Attribution adds up: per-link delays sum to the total.
+	sum := 0.0
+	for _, l := range res.PerLink {
+		sum += l.Delay
+	}
+	if diff := sum - res.FaultDelay; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("per-link delays sum to %.6f, total is %.6f", sum, res.FaultDelay)
+	}
+}
+
+func TestChurnSimIsDeterministic(t *testing.T) {
+	a, err := ChurnSim(7, nil)
+	if err != nil {
+		t.Fatalf("ChurnSim: %v", err)
+	}
+	b, err := ChurnSim(7, nil)
+	if err != nil {
+		t.Fatalf("ChurnSim: %v", err)
+	}
+	if a.Finish != b.Finish || a.FaultDelay != b.FaultDelay {
+		t.Fatalf("same seed diverged: finish %.6f/%.6f delay %.6f/%.6f",
+			a.Finish, b.Finish, a.FaultDelay, b.FaultDelay)
+	}
+	if a.Schedule.Format() != b.Schedule.Format() {
+		t.Fatalf("same seed generated different storms")
+	}
+}
+
+func TestChurnSimScheduleRoundTrips(t *testing.T) {
+	res, err := ChurnSim(3, nil)
+	if err != nil {
+		t.Fatalf("ChurnSim: %v", err)
+	}
+	// The generated storm serializes to the event-file format and parses
+	// back — the same file -churn-file accepts.
+	parsed, err := faults.ParseTopoSchedule(strings.NewReader(res.Schedule.Format()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if len(parsed) != len(res.Schedule) {
+		t.Fatalf("round trip lost events: %d != %d", len(parsed), len(res.Schedule))
+	}
+	// And replaying the parsed file gives the identical run.
+	rerun, err := ChurnSim(3, parsed)
+	if err != nil {
+		t.Fatalf("ChurnSim(parsed): %v", err)
+	}
+	if rerun.Finish != res.Finish {
+		t.Fatalf("replayed schedule finished at %.6f, original %.6f", rerun.Finish, res.Finish)
+	}
+}
+
+func TestChurnSimRejectsUnknownNames(t *testing.T) {
+	_, err := ChurnSim(1, faults.TopoSchedule{
+		{T: 0.1, Kind: faults.NodeDown, Name: "nonesuch"},
+		{T: 0.2, Kind: faults.NodeUp, Name: "nonesuch"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "nonesuch") {
+		t.Fatalf("unknown victim accepted: %v", err)
+	}
+}
+
+func TestChurnLoopbackExactlyOnce(t *testing.T) {
+	res, err := ChurnLoopback(48, 32<<10, nil)
+	if err != nil {
+		t.Fatalf("ChurnLoopback: %v", err)
+	}
+	// The storm ran: three relay kills, three restarts, mid-stream.
+	if res.Kills != 3 || res.Restarts != 3 {
+		t.Fatalf("kills/restarts = %d/%d, want 3/3", res.Kills, res.Restarts)
+	}
+	if res.Failovers < 1 {
+		t.Fatalf("senders never observed a relay death")
+	}
+	// Exactly-once: every chunk delivered exactly once, every loss
+	// healed, every resend deduplicated.
+	want := int64(res.Streams * res.Chunks)
+	if res.Delivered != want {
+		t.Fatalf("delivered %d unique chunks, want %d", res.Delivered, want)
+	}
+	if res.Holes != 0 || res.Abandoned != 0 {
+		t.Fatalf("unattributed losses: %d holes, %d abandoned", res.Holes, res.Abandoned)
+	}
+	if res.Passes < 2 {
+		t.Fatalf("drill ran %d passes, want >= 2 (the duplicate path must be exercised)", res.Passes)
+	}
+	if res.DupDrops < 1 {
+		t.Fatalf("no duplicates dropped across %d passes", res.Passes)
+	}
+	if res.Quarantined != 0 {
+		t.Fatalf("churn corrupted %d chunks", res.Quarantined)
+	}
+	for _, s := range res.PerStream {
+		if s.Delivered != int64(res.Chunks) {
+			t.Fatalf("stream %d delivered %d, want %d", s.ID, s.Delivered, res.Chunks)
+		}
+	}
+}

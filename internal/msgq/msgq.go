@@ -67,6 +67,7 @@ const (
 	CtrResends      = "msgq_resends"       // messages that needed more than one write attempt
 	CtrSendTimeouts = "msgq_send_timeouts" // writes aborted by WriteTimeout
 	CtrHorizonFails = "msgq_horizon_fails" // Sends failed by SendHorizon
+	CtrDisconnects  = "msgq_disconnects"   // endpoints removed by Disconnect
 )
 
 // Latency histograms recorded in a Push's Counters registry
@@ -197,6 +198,7 @@ func readMessageFrom(r io.Reader, allowAux bool) (Message, []byte, error) {
 // buffer (appearing to succeed) while the receiver discards it as a
 // framing error, i.e. silent loss.
 type pushConn struct {
+	addr    string // the Connect endpoint this connection belongs to
 	conn    net.Conn
 	version uint16 // negotiated protocol version (immutable after handshake)
 	writeMu sync.Mutex
@@ -282,13 +284,14 @@ func (pc *pushConn) writeVectored(w io.Writer, msg Message, aux []byte) error {
 // jitter. Send is safe for concurrent use: the paper's runtime shares
 // one PUSH socket across all sending threads.
 type Push struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	conns   []*pushConn
-	next    int
-	closed  bool
-	done    chan struct{} // closed by Close; unblocks backoff sleeps
-	dialers sync.WaitGroup
+	mu        sync.Mutex
+	cond      *sync.Cond
+	conns     []*pushConn
+	next      int
+	closed    bool
+	done      chan struct{} // closed by Close; unblocks backoff sleeps
+	dialers   sync.WaitGroup
+	endpoints map[string]chan struct{} // addr -> its maintainer's stop channel
 
 	// RetryInterval is the initial redial backoff (settable before
 	// Connect). Each failed dial doubles it, capped at RetryMax, with
@@ -319,6 +322,20 @@ type Push struct {
 	// before concluding the peer is a legacy (version-1) receiver.
 	// Zero means DefaultHelloTimeout.
 	HelloTimeout time.Duration
+	// OnPeerUp, when non-nil, is called with the endpoint address each
+	// time a connection to it is established — first dials and redials
+	// alike. Set before Connect; called without internal locks held, so
+	// the callback may query Live() etc., but it runs on the endpoint's
+	// maintainer goroutine and a slow callback delays that endpoint's
+	// lifecycle.
+	OnPeerUp func(addr string)
+	// OnPeerDown, when non-nil, is called with the endpoint address each
+	// time a live connection is lost — a failed write or the peer-death
+	// monitor seeing FIN/RST. It is NOT called for administrative
+	// teardown (Close, Disconnect): removing a peer on purpose is not a
+	// death. Health trackers (the churn-tolerant forwarder) key off this
+	// to mark a lane suspect the instant the transport knows.
+	OnPeerDown func(addr string)
 }
 
 // NewPush returns an unconnected PUSH socket.
@@ -357,18 +374,73 @@ func (p *Push) dial(addr string) (net.Conn, error) {
 	return net.Dial("tcp", addr)
 }
 
-// Connect starts maintaining a connection to addr until Close: dial,
-// redial on failure with backoff, and — unlike a one-shot dialer —
-// automatically re-establish the connection whenever it later drops.
-// It returns after launching the maintainer (connections come up
-// asynchronously; Send blocks until one is live).
+// Connect starts maintaining a connection to addr until Close or
+// Disconnect(addr): dial, redial on failure with backoff, and — unlike
+// a one-shot dialer — automatically re-establish the connection
+// whenever it later drops. It returns after launching the maintainer
+// (connections come up asynchronously; Send blocks until one is live).
+// Connecting an endpoint already being maintained, or after Close, is a
+// no-op.
 func (p *Push) Connect(addr string) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if p.endpoints == nil {
+		p.endpoints = make(map[string]chan struct{})
+	}
+	if _, ok := p.endpoints[addr]; ok {
+		p.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	p.endpoints[addr] = stop
 	p.dialers.Add(1)
-	go p.maintain(addr)
+	p.mu.Unlock()
+	go p.maintain(addr, stop)
 }
 
-// maintain owns one endpoint's connection lifecycle.
-func (p *Push) maintain(addr string) {
+// Disconnect stops maintaining addr and tears down its current
+// connection — the dynamic-remove counterpart of Connect, so a relay
+// can drop a downstream that left the cluster while the stream keeps
+// flowing to the rest. An on-purpose removal is not a peer death:
+// OnPeerDown does not fire and CtrConnDrops does not count (a
+// CtrDisconnects counter does). It reports whether the endpoint was
+// being maintained. The endpoint can be re-added later with Connect.
+func (p *Push) Disconnect(addr string) bool {
+	p.mu.Lock()
+	stop, ok := p.endpoints[addr]
+	if !ok {
+		p.mu.Unlock()
+		return false
+	}
+	delete(p.endpoints, addr)
+	close(stop)
+	var dead []*pushConn
+	kept := p.conns[:0]
+	for _, c := range p.conns {
+		if c.addr == addr {
+			dead = append(dead, c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	p.conns = kept
+	p.mu.Unlock()
+	for _, c := range dead {
+		c.conn.Close()
+		close(c.gone)
+	}
+	p.count(CtrDisconnects)
+	return true
+}
+
+// maintain owns one endpoint's connection lifecycle. stop is the
+// endpoint's registry channel: Disconnect closes it (and removes any
+// live connection itself), telling the maintainer to exit instead of
+// redialing.
+func (p *Push) maintain(addr string, stop chan struct{}) {
 	defer p.dialers.Done()
 	initial := p.RetryInterval
 	if initial <= 0 {
@@ -399,11 +471,13 @@ func (p *Push) maintain(addr string) {
 		if err != nil {
 			p.count(CtrDialErrors)
 			// Jittered sleep in [backoff/2, backoff), interruptible
-			// by Close.
+			// by Close or Disconnect.
 			d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
 			select {
 			case <-time.After(d):
 			case <-p.done:
+				return
+			case <-stop:
 				return
 			}
 			backoff *= 2
@@ -415,9 +489,15 @@ func (p *Push) maintain(addr string) {
 		if ps.version < 2 {
 			p.count(CtrLegacyPeers)
 		}
-		pc := &pushConn{conn: conn, version: ps.version, gone: make(chan struct{})}
+		pc := &pushConn{addr: addr, conn: conn, version: ps.version, gone: make(chan struct{})}
 		p.mu.Lock()
-		if p.closed {
+		// Registry membership is the liveness check: Disconnect deletes
+		// the entry under the same lock, so a dial racing a Disconnect
+		// can never register a connection that nothing will tear down.
+		// Identity (not mere presence) matters: a Disconnect+Connect
+		// cycle installs a fresh channel, and the stale maintainer must
+		// stand down rather than double up with the new one.
+		if p.closed || p.endpoints[addr] != stop {
 			p.mu.Unlock()
 			conn.Close()
 			return
@@ -448,7 +528,14 @@ func (p *Push) maintain(addr string) {
 		}
 		established++
 		backoff = initial
-		<-pc.gone // connection dropped or socket closed; loop to redial
+		if f := p.OnPeerUp; f != nil {
+			f(addr)
+		}
+		select {
+		case <-pc.gone: // connection dropped or socket closed; loop to redial
+		case <-stop: // Disconnect tears the connection down itself
+			return
+		}
 	}
 }
 
@@ -464,6 +551,9 @@ func (p *Push) drop(pc *pushConn) {
 			pc.conn.Close()
 			close(pc.gone)
 			p.count(CtrConnDrops)
+			if f := p.OnPeerDown; f != nil {
+				f(pc.addr)
+			}
 			return
 		}
 	}

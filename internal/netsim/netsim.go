@@ -70,14 +70,17 @@ func (l *Link) Acquire(now, bytes float64) float64 {
 	return end
 }
 
-// Path is a unidirectional data path from a sender machine's NIC over a
-// link into a receiver machine's NIC and memory.
+// Path is a unidirectional data path from a sender machine's NIC over
+// one or more links into a receiver machine's NIC and memory. A
+// single-link path is the star topology of Figures 1/10/13; a
+// multi-link path is a relayed chain (sender → relay → gateway), each
+// hop a separately faultable segment.
 type Path struct {
 	eng *sim.Engine
 
 	src    *hw.Machine
 	srcNIC *hw.NIC
-	link   *Link
+	links  []*Link
 	dst    *hw.Machine
 	dstNIC *hw.NIC
 
@@ -94,31 +97,54 @@ func (p *Path) SetRSS(r *RSS, flow int) {
 	p.flow = flow
 }
 
-// NewPath wires a path together. Multiple paths may share the same link
-// and the same destination NIC; their traffic then contends.
+// NewPath wires a single-link path together. Multiple paths may share
+// the same link and the same destination NIC; their traffic then
+// contends.
 func NewPath(eng *sim.Engine, src *hw.Machine, srcNIC *hw.NIC, link *Link, dst *hw.Machine, dstNIC *hw.NIC) *Path {
-	return &Path{eng: eng, src: src, srcNIC: srcNIC, link: link, dst: dst, dstNIC: dstNIC}
+	return NewPathVia(eng, src, srcNIC, []*Link{link}, dst, dstNIC)
+}
+
+// NewPathVia wires a multi-hop path crossing every link in order —
+// the relayed sender → relay → gateway chains of the churn drills.
+// The intermediate relay is modeled as cut-through store-and-forward:
+// each hop's link capacity and RTT are charged, but no relay CPU
+// (compressed chunks pass through a real relay verbatim, so its
+// per-byte cost is the links', not the cores'). NewPathVia panics on an
+// empty link list.
+func NewPathVia(eng *sim.Engine, src *hw.Machine, srcNIC *hw.NIC, links []*Link, dst *hw.Machine, dstNIC *hw.NIC) *Path {
+	if len(links) == 0 {
+		panic("netsim: path needs at least one link")
+	}
+	return &Path{eng: eng, src: src, srcNIC: srcNIC, links: append([]*Link(nil), links...), dst: dst, dstNIC: dstNIC}
 }
 
 // DstSocket returns the NUMA domain received data lands in.
 func (p *Path) DstSocket() int { return p.dstNIC.Socket }
 
-// Link returns the shared segment this path crosses.
-func (p *Path) Link() *Link { return p.link }
+// Link returns the first segment this path crosses (the only one on a
+// single-link path).
+func (p *Path) Link() *Link { return p.links[0] }
+
+// Links returns every segment the path crosses, in hop order.
+func (p *Path) Links() []*Link { return p.links }
 
 // Send moves one message of the given size across the path and invokes
 // k with the time the data is resident in receiver memory. The transfer
-// holds the sender's NIC tx engine, a fair share of the link, the
-// receiver's NIC rx engine, and finally DMAs into the receiver NIC's
-// attachment domain. The three bandwidth stages are acquired at send
-// time (cut-through pipelining: per-message completion is governed by
-// the slowest stage, matching steady-state TCP behaviour), then half the
-// RTT of propagation is added.
+// holds the sender's NIC tx engine, a fair share of every link on the
+// path, the receiver's NIC rx engine, and finally DMAs into the
+// receiver NIC's attachment domain. The bandwidth stages are acquired
+// at send time (cut-through pipelining: per-message completion is
+// governed by the slowest stage, matching steady-state TCP behaviour),
+// then half the RTT of each hop of propagation is added.
 func (p *Path) Send(now, bytes float64, k func(arrival float64)) {
 	t := p.srcNIC.Tx.Acquire(now, bytes)
-	t = math.Max(t, p.link.Acquire(now, bytes))
+	for _, l := range p.links {
+		t = math.Max(t, l.Acquire(now, bytes))
+	}
 	t = math.Max(t, p.dstNIC.Rx.Acquire(now, bytes))
-	t += p.link.RTT / 2
+	for _, l := range p.links {
+		t += l.RTT / 2
+	}
 	p.eng.Schedule(t, func() {
 		done := p.dst.DMAWrite(p.eng.Now(), p.dstNIC.Socket, bytes)
 		if p.rss != nil {

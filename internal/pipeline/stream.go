@@ -131,6 +131,11 @@ type Chunk struct {
 	Data   []byte // current payload: raw or LZ4 block
 	RawLen int    // uncompressed length of the original chunk
 	Packed bool   // Data is an LZ4 block
+	// Peer, set on the receive path, is the advertised label (or remote
+	// address) of the connection the chunk arrived on — which relay or
+	// sender delivered it. Churn drills use it to attribute deliveries
+	// across failovers; empty on the send path.
+	Peer string
 
 	// enqAt is stamped just before the chunk enters an inter-stage
 	// queue; the consuming stage turns it into a queue-wait observation.
@@ -349,6 +354,16 @@ func RunSender(opts SenderOptions) error {
 	push.Dial = opts.Dial
 	push.Counters = opts.Metrics
 	push.Label = opts.Cfg.Node
+	// Failover accounting: each downstream (relay or gateway) connection
+	// lost mid-stream is a failover the transport rides out by retrying
+	// on survivors and redialing. Counted here on the sender because the
+	// sender is the one whose chunks get diverted.
+	failoverCtr := opts.Metrics.Counter(CtrRelayFailovers)
+	failoverStreamCtr := opts.Metrics.Counter(fmt.Sprintf("relay_failovers_stream_%d", opts.StreamID))
+	push.OnPeerDown = func(string) {
+		failoverCtr.Inc()
+		failoverStreamCtr.Inc()
+	}
 	defer push.Close()
 	for _, peer := range opts.Peers {
 		push.Connect(peer)
@@ -610,6 +625,16 @@ type ReceiverOptions struct {
 	// Listener, when non-nil, overrides Bind with an existing listener
 	// (fault-wrapped listeners; the receiver takes ownership).
 	Listener net.Listener
+	// ExactlyOnce turns on the exactly-once accounting ledger: each
+	// (stream, seq) pair is delivered to the Sink at most once, repeats
+	// are counted (CtrDupDrops) and dropped. Off, the hot path is
+	// untouched — at-least-once, as before.
+	ExactlyOnce bool
+	// Ledger, when non-nil (implies ExactlyOnce), is the accounting
+	// ledger to use — pass one in to keep dedup state across receiver
+	// passes and to inspect Holes()/Delivered() after the run. Nil with
+	// ExactlyOnce set builds a private ledger over Metrics.
+	Ledger *Ledger
 	// BufPool overrides the buffer pool backing frame receives and
 	// decompression output; nil uses bufpool.Default().
 	//
@@ -637,6 +662,11 @@ const (
 	// CtrSeqLate counts chunks that arrived with a sequence number
 	// below the stream's high-water mark (reordered or duplicated).
 	CtrSeqLate = "seq_late"
+	// CtrRelayFailovers counts downstream connections a sender lost
+	// mid-stream (relay or gateway deaths the transport failed over
+	// from). Recorded in SenderOptions.Metrics, with a per-stream
+	// variant "relay_failovers_stream_<id>".
+	CtrRelayFailovers = "relay_failovers"
 )
 
 // RunReceiver accepts chunks until Expect have been delivered, then
@@ -705,6 +735,10 @@ func RunReceiver(opts ReceiverOptions) error {
 	quarantinedCtr := opts.Metrics.Counter(CtrQuarantined)
 	gapCtr := opts.Metrics.Counter(CtrSeqGaps)
 	lateCtr := opts.Metrics.Counter(CtrSeqLate)
+	ledger := opts.Ledger
+	if ledger == nil && opts.ExactlyOnce {
+		ledger = NewLedger(opts.Metrics, 0)
+	}
 
 	// Accounting, guarded by sinkMu. A chunk is accounted once it is
 	// either delivered or quarantined; with Expect set, the receiver is
@@ -722,6 +756,13 @@ func RunReceiver(opts ReceiverOptions) error {
 		sinkMu.Lock()
 		defer sinkMu.Unlock()
 		if opts.Expect > 0 && delivered+quarantined >= opts.Expect {
+			return nil
+		}
+		// Exactly-once gate: a repeat of an already-delivered (stream,
+		// seq) is dropped before the sink and counted by the ledger. It
+		// does not advance Expect or the seq-gap accounting — as far as
+		// delivery is concerned it never happened.
+		if ledger != nil && !ledger.Admit(c.Stream, c.Seq) {
 			return nil
 		}
 		if opts.Sink != nil {
@@ -860,6 +901,7 @@ func RunReceiver(opts ReceiverOptions) error {
 				}
 				c.Data = msg[1]
 				c.frame = d.Frame
+				c.Peer = d.Peer
 				// A wire trace context is advisory: a frame whose aux
 				// part fails to decode (or describes a different chunk)
 				// still delivers — only the journey is lost.
