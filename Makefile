@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench churn-drill
+.PHONY: build test vet race check bench churn-drill report-drill
 
 build:
 	$(GO) build ./...
@@ -17,9 +17,10 @@ vet:
 # (reconnect, send horizons, quarantine accounting, queues), the buffer
 # pool (lease aliasing, cross-domain steals), the telemetry layer
 # (histograms, sampler, live endpoint), and the tracing layer
-# (concurrent Add/WriteJSON, chunk framing).
+# (concurrent Add/WriteJSON, chunk framing), and the snapshot-diff
+# observer (scrape-while-streaming).
 race:
-	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
+	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/obs/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
 	$(GO) test -race -run 'TestChurn|TestMultiHop' ./internal/cluster/... ./internal/experiments/...
 
 # Churn drill: the seeded netsim churn storm (multi-hop topology events,
@@ -30,8 +31,22 @@ race:
 churn-drill:
 	$(GO) test -count=1 -run 'TestChurn|TestMultiHop|TestTopo|TestForwarder|TestLedger' ./internal/faults/... ./internal/cluster/... ./internal/pipeline/... ./internal/experiments/...
 
-# The single CI entry point: build, vet, tests, race pass, churn drill.
-check: build vet test race churn-drill
+# Report drill: run the degraded-link simulation with self-diagnosis on
+# and assert the report is well-formed — at least one window, and every
+# window carries a verdict (the '"t0":' key count is per-window; the run
+# bounds use "t0_run"/"t1_run" precisely so this grep stays exact).
+report-drill:
+	$(GO) run ./cmd/experiments -fig none -degraded -report report-drill.json
+	@windows=$$(grep -c '"t0":' report-drill.json); \
+	verdicts=$$(grep -c '"verdict":' report-drill.json); \
+	if [ "$$windows" -eq 0 ] || [ "$$windows" -ne "$$verdicts" ]; then \
+		echo "report-drill: $$windows windows vs $$verdicts verdicts"; exit 1; \
+	fi; \
+	echo "report-drill: $$windows windows, every one carries a verdict"
+
+# The single CI entry point: build, vet, tests, race pass, churn drill,
+# report drill.
+check: build vet test race churn-drill report-drill
 
 # Human-readable benchmark run over the root suite (the paper figures,
 # the loopback pipeline, queues, LZ4).

@@ -16,10 +16,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"numastream/internal/experiments"
 	"numastream/internal/faults"
 	"numastream/internal/metrics"
+	"numastream/internal/obs"
 	"numastream/internal/telemetry"
 )
 
@@ -46,7 +48,8 @@ func main() {
 	churnSeed := flag.Int64("churn-seed", 11, "churn storm RNG seed (-churn)")
 	churnFile := flag.String("churn-file", "", "topology event file replacing the generated storm: '<t> <NODEUP|NODEDOWN|LINKUP|LINKDOWN> <name>' lines, OLSR '<t> <UP|DOWN> <from> <to>' also accepted")
 	traceWire := flag.String("trace-wire", "", "run the wire-journey loopback (real pipeline, WireTrace on) and write the merged cross-process Chrome trace to this file")
-	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address; real-mode harnesses record into the served registry")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /status, /debug/vars and /debug/pprof on this address; real-mode harnesses record into the served registry")
+	report := flag.String("report", "", "write an end-of-run self-diagnosis report to this file (markdown when the path ends in .md, JSON otherwise); -degraded reports the simulation's virtual-time windows")
 	bufpoolMode := flag.String("bufpool", "on", "NUMA-aware buffer pooling in the real-execution harnesses: on | off (off = per-chunk allocation, for pooled-vs-unpooled A/B sweeps)")
 	flag.Var(&figs, "fig", "figure to regenerate (5,6,7,8,9,11,12,14 or all); repeatable")
 	flag.Parse()
@@ -76,18 +79,34 @@ func main() {
 		os.Exit(1)
 	}
 
-	// The live registry: nil unless -telemetry-addr is set, in which case
-	// the real-mode harnesses share it so the endpoint shows them mid-run.
+	// The live registry: nil unless -telemetry-addr or -report needs one,
+	// in which case the real-mode harnesses share it so the endpoint and
+	// the report see them mid-run.
 	var reg *metrics.Registry
-	if *telemetryAddr != "" {
+	var obsEng *obs.Engine
+	if *telemetryAddr != "" || *report != "" {
 		reg = metrics.NewRegistry()
-		srv, err := telemetry.Serve(*telemetryAddr, reg)
+	}
+	if *report != "" {
+		// Short windows: the loopback drills run for seconds, and the
+		// report should still resolve several verdict windows.
+		obsEng = obs.NewEngine(reg, obs.Options{Node: "experiments", Interval: 100 * time.Millisecond})
+		obsEng.Start()
+	}
+	if *telemetryAddr != "" {
+		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Obs: obsEng})
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", srv.Addr())
+		fmt.Printf("telemetry: http://%s/metrics (also /status, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
+
+	// The degraded simulation self-diagnoses on virtual time; its windows
+	// take precedence in the report over the wall-clock engine (which
+	// sees nothing during a simulated run).
+	var simWindows []obs.Window
+	var simRegimes []obs.Regime
 
 	// writeCSV writes one figure's CSV when -csv is set.
 	writeCSV := func(name string, emit func(w *os.File) error) {
@@ -202,6 +221,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(experiments.FormatDegradedSim(res))
+		simWindows, simRegimes = res.Windows, res.Regimes
 	}
 	if *degradedReal {
 		chunks, chunkBytes := 64, 512<<10
@@ -301,6 +321,20 @@ func main() {
 			fmt.Printf("gateway trace (%d events) written to %s; per-stage busy time:\n%s\n",
 				tr.Len(), *tracePath, tr.Summary())
 		}
+	}
+
+	if *report != "" {
+		var rep obs.Report
+		if len(simWindows) > 0 {
+			rep = obs.BuildReport("degraded-sim", simWindows, simRegimes, 0)
+		} else {
+			obsEng.Stop()
+			rep = obsEng.Report()
+		}
+		if err := obs.WriteReportFile(*report, rep); err != nil {
+			fail(err)
+		}
+		fmt.Printf("self-diagnosis report written to %s (dominant regime: %s)\n", *report, rep.Dominant)
 	}
 }
 

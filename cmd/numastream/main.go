@@ -24,6 +24,7 @@ import (
 	"numastream/internal/faults"
 	"numastream/internal/metrics"
 	"numastream/internal/numa"
+	"numastream/internal/obs"
 	"numastream/internal/pipeline"
 	"numastream/internal/runtime"
 	"numastream/internal/telemetry"
@@ -45,9 +46,11 @@ func main() {
 		bufpoolMode = flag.String("bufpool", "on", "NUMA-aware buffer pooling on the hot path: on | off (off = per-chunk allocation, the pre-pooling behaviour; for A/B runs and leak triage)")
 
 		// Telemetry (the flight recorder).
-		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /debug/vars and /debug/pprof on this address while the node runs")
+		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /status (live bottleneck self-diagnosis), /debug/vars and /debug/pprof on this address while the node runs")
 		timelinePath  = flag.String("timeline", "", "sample all metrics periodically and write the timeline here at exit (.csv for CSV, else JSON)")
 		sampleEvery   = flag.Duration("sample-interval", 250*time.Millisecond, "timeline sampling interval")
+		reportPath    = flag.String("report", "", "write an end-of-run self-diagnosis report here at exit (markdown when the path ends in .md, JSON otherwise)")
+		reportEvery   = flag.Duration("report-interval", 500*time.Millisecond, "snapshot-diff window width for /status and -report")
 
 		// Robustness (sender).
 		sendHorizon  = flag.Duration("send-horizon", 0, "sender: fail sends after all peers stay dead this long (0 = wait forever)")
@@ -95,13 +98,24 @@ func main() {
 	if *tracePath != "" {
 		tracer = trace.New(1 << 20)
 	}
+	// The self-diagnosis engine rides along whenever something surfaces
+	// it: the /status endpoint, or the -report artifact.
+	var obsEng *obs.Engine
+	if *telemetryAddr != "" || *reportPath != "" {
+		obsEng = obs.NewEngine(reg, obs.Options{
+			Interval: *reportEvery,
+			Node:     cfg.Node,
+			Workers:  stageWorkers(cfg),
+		})
+		obsEng.Start()
+	}
 	if *telemetryAddr != "" {
-		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Tracer: tracer})
+		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Tracer: tracer, Obs: obsEng})
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		extra := "/healthz, /debug/vars, /debug/pprof"
+		extra := "/healthz, /status, /debug/vars, /debug/pprof"
 		if tracer != nil {
 			extra += ", /trace"
 		}
@@ -179,6 +193,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if obsEng != nil {
+		obsEng.Stop()
+	}
+	if *reportPath != "" {
+		rep := obsEng.Report()
+		if err := obs.WriteReportFile(*reportPath, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("self-diagnosis report written to %s (dominant regime: %s)\n", *reportPath, rep.Dominant)
+	}
 	if sampler != nil {
 		sampler.Stop()
 		f, err := os.Create(*timelinePath)
@@ -250,6 +274,16 @@ func newSource(n, scale int, synthetic bool) func() []byte {
 		i++
 		return gen.Next()
 	}
+}
+
+// stageWorkers maps stage name → configured worker count from the node
+// config, giving the self-diagnosis engine its utilization denominator.
+func stageWorkers(cfg runtime.NodeConfig) map[string]int {
+	w := make(map[string]int, len(cfg.Groups))
+	for _, g := range cfg.Groups {
+		w[string(g.Type)] += g.Count
+	}
+	return w
 }
 
 func fatal(err error) {

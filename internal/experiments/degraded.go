@@ -12,6 +12,7 @@ import (
 	"numastream/internal/metrics"
 	"numastream/internal/msgq"
 	"numastream/internal/netsim"
+	"numastream/internal/obs"
 	"numastream/internal/pipeline"
 	"numastream/internal/runtime"
 	"numastream/internal/sim"
@@ -38,6 +39,15 @@ type DegradedSimResult struct {
 	Timeline   *metrics.Timeline // per-delivery cumulative raw bytes ("delivered")
 	BucketSecs float64           // width of each throughput bucket
 	Gbps       []float64         // raw-delivery throughput per bucket
+
+	// Self-diagnosis: the run's virtual-time queue and delivery state
+	// sampled into the obs snapshot-diff engine — one verdict per
+	// window, regime transitions between them, and the verdict that
+	// governed the most run time. The same engine real runs drive from
+	// the registry, fed virtual seconds here.
+	Windows  []obs.Window
+	Regimes  []obs.Regime
+	Dominant obs.Verdict
 }
 
 // DegradedSim runs a single updraft→lynxdtn stream twice: once healthy
@@ -50,7 +60,7 @@ type DegradedSimResult struct {
 // simulation is fully deterministic: the same schedule replays
 // byte-for-byte.
 func DegradedSim() (DegradedSimResult, error) {
-	base, err := runDegradedCell(nil, nil)
+	base, err := runDegradedCell(nil, nil, 0, nil)
 	if err != nil {
 		return DegradedSimResult{}, err
 	}
@@ -71,16 +81,36 @@ func DegradedSim() (DegradedSimResult, error) {
 // fault schedule. The dip-and-recovery curve is recorded as a
 // metrics.Timeline of cumulative delivered bytes on virtual time and
 // bucketed by Timeline.RateGbps — the same machinery real-mode runs
-// sample their registries into.
+// sample their registries into. The run also self-diagnoses: a probe
+// pass learns the faulted finish time, then the measured pass samples
+// queue blocked-time and delivery state every Finish/48 virtual seconds
+// into an obs engine, yielding per-window verdicts and the regime log
+// (the simulation is deterministic, so the probe replays exactly).
 func DegradedSimWithSchedule(sched faults.LinkSchedule) (DegradedSimResult, error) {
+	probe, err := runDegradedCell(sched, nil, 0, nil)
+	if err != nil {
+		return DegradedSimResult{}, err
+	}
+	sampleEvery := probe.FinishTime / 48
+
 	tl := metrics.NewTimeline(4096)
 	raw := int64(0)
+	items := int64(0)
+	obsEng := obs.NewEngine(nil, obs.Options{
+		Node: "degraded-sim",
+		// Worker counts from runDegradedCell's task groups, for
+		// utilization shares.
+		Workers: map[string]int{"compress": 8, "send": 4, "receive": 4, "decompress": 8},
+	})
 	st, err := runDegradedCell(sched, func(t, r, wire float64) {
 		raw += int64(r)
+		items++
 		tl.Append(metrics.TimelinePoint{
 			T:      t,
 			Meters: map[string]metrics.MeterSample{"delivered": {Bytes: raw}},
 		})
+	}, sampleEvery, func(t float64, s *runtime.Stream) {
+		obsEng.Observe(simSnapshot(t, s, raw, items))
 	})
 	if err != nil {
 		return DegradedSimResult{}, err
@@ -90,12 +120,39 @@ func DegradedSimWithSchedule(sched faults.LinkSchedule) (DegradedSimResult, erro
 		Finish:     st.FinishTime,
 		FaultDelay: st.Path.Link().FaultDelay(),
 		Timeline:   tl,
+		Windows:    obsEng.Windows(),
+		Regimes:    obsEng.Regimes(),
 	}
+	res.Dominant = obs.BuildReport("degraded-sim", res.Windows, res.Regimes, 0).Dominant
 	res.BucketSecs, res.Gbps = tl.RateGbps("delivered", DegradedBuckets)
 	return res, nil
 }
 
-func runDegradedCell(sched faults.LinkSchedule, onDeliver func(t, raw, wire float64)) (*runtime.Stream, error) {
+// simSnapshot synthesizes an obs.Snapshot from a simulated stream's
+// live state: the same series names a real registry scrape produces, on
+// virtual time — which is all the diff engine needs.
+func simSnapshot(t float64, st *runtime.Stream, rawBytes, items int64) obs.Snapshot {
+	s := obs.Snapshot{
+		T:      t,
+		Meters: map[string]obs.MeterState{"delivered": {Bytes: rawBytes, Items: items}},
+		Gauges: map[string]float64{},
+	}
+	for _, q := range st.SampleQueues() {
+		s.Gauges[q.Queue+"_depth"] = float64(q.Depth)
+		s.Gauges[q.Queue+"_put_blocked_secs"] = q.PutBlockedSecs
+		s.Gauges[q.Queue+"_get_blocked_secs"] = q.GetBlockedSecs
+	}
+	return s
+}
+
+// runDegradedCell runs one faulted (or healthy, nil sched) stream.
+// onDeliver fires per delivered chunk. When sampleEvery > 0, onSample
+// fires on the virtual clock every sampleEvery seconds from t=0 until
+// one tick past delivery completing — the observation loop degraded-sim
+// self-diagnosis hangs off. The sampler must not reschedule forever:
+// sim.Engine.Run drains the event heap, so an unconditional reschedule
+// would never terminate.
+func runDegradedCell(sched faults.LinkSchedule, onDeliver func(t, raw, wire float64), sampleEvery float64, onSample func(t float64, st *runtime.Stream)) (*runtime.Stream, error) {
 	eng := sim.NewEngine()
 	snd := runtime.NewSimNode(hw.NewUpdraft(eng, "updraft1"), 21)
 	rcv := runtime.NewSimNode(hw.NewLynxdtn(eng), 22)
@@ -133,6 +190,19 @@ func runDegradedCell(sched faults.LinkSchedule, onDeliver func(t, raw, wire floa
 		Path:      path,
 		OnDeliver: onDeliver,
 	}
+	if sampleEvery > 0 && onSample != nil {
+		var tick func()
+		tick = func() {
+			onSample(eng.Now(), st)
+			// Stop rescheduling once the stream finishes; this tick
+			// already covered the tail.
+			if st.Delivered < st.Spec.Chunks {
+				eng.After(sampleEvery, tick)
+			}
+		}
+		// Fires inside eng.Run, after Runner.build wired the queues.
+		eng.Schedule(0, tick)
+	}
 	if err := (&runtime.Runner{Eng: eng, Streams: []*runtime.Stream{st}}).Run(); err != nil {
 		return nil, err
 	}
@@ -155,6 +225,12 @@ func FormatDegradedSim(r DegradedSimResult) string {
 			r.BaseFinish, r.Finish, 100*(r.Finish-r.BaseFinish)/r.BaseFinish, r.FaultDelay)
 	} else {
 		out += fmt.Sprintf("  faulted finish %.4fs, fault delay %.4fs\n", r.Finish, r.FaultDelay)
+	}
+	if len(r.Windows) > 0 {
+		out += fmt.Sprintf("  self-diagnosis: dominant regime %s across %d windows\n", r.Dominant, len(r.Windows))
+		for _, t := range r.Regimes {
+			out += fmt.Sprintf("    t=%8.4fs  %s -> %s\n", t.T, t.From, t.To)
+		}
 	}
 	out += fmt.Sprintf("%10s %10s  throughput (raw Gbps)\n", "t (s)", "Gbps")
 	max := 0.0

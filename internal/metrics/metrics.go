@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"testing"
 	"time"
 )
 
@@ -141,6 +142,49 @@ type GaugeSnapshot struct {
 	Value float64
 }
 
+// CtrDupRegister counts duplicate metric registrations: the same name
+// claimed as two different metric kinds (a counter shadowing a gauge, a
+// meter shadowing a histogram, ...). Re-requesting a name under its
+// original kind is the normal create-on-first-use path and never counts;
+// a cross-kind claim is always a naming bug. Under `go test` the claim
+// panics instead, so the bug is caught at the offending call site; in
+// production the first registration wins and this counter records that
+// the shadowing attempt happened.
+const CtrDupRegister = "metrics_dup_register"
+
+// dupPanics selects the duplicate-registration response: panic when the
+// process is a test binary (catch the bug at its source), count
+// otherwise (never crash a production stream over a metric name).
+var dupPanics = testing.Testing()
+
+// metricKind discriminates the registry's five namespaces for duplicate
+// detection.
+type metricKind uint8
+
+const (
+	kindMeter metricKind = iota
+	kindCounter
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindMeter:
+		return "meter"
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindGaugeFunc:
+		return "callback gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
 // Registry groups named meters, counters, gauges and histograms for a
 // pipeline run.
 type Registry struct {
@@ -150,41 +194,102 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() float64
 	hists      map[string]*Histogram
+
+	kinds  map[string]metricKind
+	dupCtr *Counter
+
+	// Per-stream cardinality cap (see streams.go).
+	streamCap int
+	streamIDs map[uint32]struct{}
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		meters:     make(map[string]*Meter),
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		gaugeFuncs: make(map[string]func() float64),
 		hists:      make(map[string]*Histogram),
+		kinds:      make(map[string]metricKind),
+		streamIDs:  make(map[uint32]struct{}),
 	}
+	r.dupCtr = &Counter{}
+	r.counters[CtrDupRegister] = r.dupCtr
+	r.kinds[CtrDupRegister] = kindCounter
+	return r
 }
 
-// Meter returns the named meter, creating it on first use.
-func (r *Registry) Meter(name string) *Meter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// claimLocked records that name belongs to kind. A re-claim under the
+// same kind is the ordinary lookup path and is free; a claim under a
+// different kind is a duplicate registration — the name would silently
+// shadow an existing series of another type — and panics under tests or
+// increments CtrDupRegister in production. It reports whether the claim
+// holds (false = the caller must not shadow the existing series).
+func (r *Registry) claimLocked(name string, kind metricKind) bool {
+	have, ok := r.kinds[name]
+	if !ok {
+		r.kinds[name] = kind
+		return true
+	}
+	if have == kind {
+		return true
+	}
+	if dupPanics {
+		panic(fmt.Sprintf("metrics: %q already registered as a %s, re-registered as a %s", name, have, kind))
+	}
+	r.dupCtr.Inc()
+	return false
+}
+
+func (r *Registry) meterLocked(name string) *Meter {
 	m, ok := r.meters[name]
 	if !ok {
+		if !r.claimLocked(name, kindMeter) {
+			return NewMeter() // orphaned: the colliding series keeps the name
+		}
 		m = NewMeter()
 		r.meters[name] = m
 	}
 	return m
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+func (r *Registry) counterLocked(name string) *Counter {
 	c, ok := r.counters[name]
 	if !ok {
+		if !r.claimLocked(name, kindCounter) {
+			return &Counter{}
+		}
 		c = &Counter{}
 		r.counters[name] = c
 	}
 	return c
+}
+
+func (r *Registry) histogramLocked(name string) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		if !r.claimLocked(name, kindHistogram) {
+			return NewHistogram()
+		}
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Meter returns the named meter, creating it on first use.
+func (r *Registry) Meter(name string) *Meter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.meterLocked(name)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counterLocked(name)
 }
 
 // Gauge returns the named gauge, creating it on first use.
@@ -193,6 +298,9 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		if !r.claimLocked(name, kindGauge) {
+			return &Gauge{}
+		}
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -202,10 +310,16 @@ func (r *Registry) Gauge(name string) *Gauge {
 // RegisterGauge installs a callback gauge: fn is polled at snapshot and
 // sample time. Queue depths use this so the registry always reflects the
 // live value without anyone pushing updates. Re-registering a name
-// replaces the callback (a fresh pipeline run over a reused registry).
+// replaces the callback (a fresh pipeline run over a reused registry);
+// claiming a name that already belongs to another metric kind is a
+// duplicate registration (panic under tests, CtrDupRegister otherwise)
+// and leaves the existing series untouched.
 func (r *Registry) RegisterGauge(name string, fn func() float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if !r.claimLocked(name, kindGaugeFunc) {
+		return
+	}
 	r.gaugeFuncs[name] = fn
 }
 
@@ -213,12 +327,7 @@ func (r *Registry) RegisterGauge(name string, fn func() float64) {
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		h = NewHistogram()
-		r.hists[name] = h
-	}
-	return h
+	return r.histogramLocked(name)
 }
 
 // CounterValue returns the named counter's value, zero if it was never

@@ -1,0 +1,87 @@
+package metrics
+
+import "strconv"
+
+// Per-stream series cardinality cap. Several subsystems keep a
+// per-stream variant of an aggregate series — "dup_drops_stream_<id>",
+// "reroutes_stream_<id>", "chunk_e2e_stream_<id>_ns" — which is fine for
+// a handful of streams and fatal for the thousand-stream gateway the
+// roadmap aims at: every scrape would render thousands of series, and a
+// hostile or misconfigured sender could mint unbounded registry entries
+// by cycling stream ids. The registry therefore tracks at most
+// StreamCap distinct stream ids (first-come); chunks of any stream
+// beyond the cap fold into a shared "<base>_stream_other" bucket, so
+// aggregate accounting stays exact while cardinality stays bounded.
+
+// DefaultStreamCap is the default number of distinct stream ids given
+// their own per-stream series.
+const DefaultStreamCap = 64
+
+// SetStreamCap overrides the tracked-stream limit (0 or negative keeps
+// DefaultStreamCap). Call it before the first stream-scoped series is
+// created: ids already tracked stay tracked.
+func (r *Registry) SetStreamCap(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.streamCap = n
+}
+
+// streamLabelLocked maps a stream id onto its series label: the decimal
+// id while the tracked set has room, "other" beyond the cap.
+func (r *Registry) streamLabelLocked(stream uint32) string {
+	if _, ok := r.streamIDs[stream]; ok {
+		return strconv.FormatUint(uint64(stream), 10)
+	}
+	cap := r.streamCap
+	if cap <= 0 {
+		cap = DefaultStreamCap
+	}
+	if len(r.streamIDs) < cap {
+		r.streamIDs[stream] = struct{}{}
+		return strconv.FormatUint(uint64(stream), 10)
+	}
+	return "other"
+}
+
+// StreamTracked reports whether stream gets (or would get) its own
+// per-stream series, admitting it into the tracked set if room remains.
+// Callers registering per-stream callback gauges gate on this so an
+// over-cap stream cannot shadow the shared bucket.
+func (r *Registry) StreamTracked(stream uint32) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.streamLabelLocked(stream) != "other"
+}
+
+// StreamName returns the capped series name "<base>_stream_<id>", or
+// "<base>_stream_other" once the tracked-stream cap is exhausted.
+func (r *Registry) StreamName(base string, stream uint32) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return base + "_stream_" + r.streamLabelLocked(stream)
+}
+
+// StreamCounter returns the counter "<base>_stream_<id>", folding
+// streams beyond the cap into "<base>_stream_other". Callers on a hot
+// path should cache the result per stream — the name is built per call.
+func (r *Registry) StreamCounter(base string, stream uint32) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counterLocked(base + "_stream_" + r.streamLabelLocked(stream))
+}
+
+// StreamMeter is StreamCounter for meters.
+func (r *Registry) StreamMeter(base string, stream uint32) *Meter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.meterLocked(base + "_stream_" + r.streamLabelLocked(stream))
+}
+
+// StreamHistogram returns the histogram "<base>_stream_<id><suffix>"
+// (suffix carries a unit tail like "_ns" past the stream label), folded
+// past the cap like StreamCounter.
+func (r *Registry) StreamHistogram(base, suffix string, stream uint32) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histogramLocked(base + "_stream_" + r.streamLabelLocked(stream) + suffix)
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStreamCapFoldsIntoOther(t *testing.T) {
+	r := NewRegistry()
+	r.SetStreamCap(3)
+	// First three stream ids get their own series...
+	for id := uint32(0); id < 3; id++ {
+		r.StreamCounter("dup_drops", id).Inc()
+		if !r.StreamTracked(id) {
+			t.Fatalf("stream %d not tracked under cap 3", id)
+		}
+	}
+	// ...every later id folds into the shared "other" bucket, across all
+	// series kinds.
+	for id := uint32(3); id < 8; id++ {
+		r.StreamCounter("dup_drops", id).Inc()
+		r.StreamMeter("delivered", id).Add(10)
+		r.StreamHistogram("chunk_e2e", "_ns", id).Observe(100)
+		if r.StreamTracked(id) {
+			t.Fatalf("stream %d tracked past the cap", id)
+		}
+	}
+	if got := r.CounterValue("dup_drops_stream_other"); got != 5 {
+		t.Fatalf("folded counter = %d, want 5", got)
+	}
+	if got := r.CounterValue("dup_drops_stream_1"); got != 1 {
+		t.Fatalf("tracked counter = %d, want 1", got)
+	}
+	for _, m := range r.Snapshots() {
+		if m.Name == "delivered_stream_other" {
+			if m.Bytes != 50 || m.Items != 5 {
+				t.Fatalf("folded meter = %+v", m)
+			}
+			goto meterOK
+		}
+	}
+	t.Fatal("delivered_stream_other meter missing")
+meterOK:
+	for _, h := range r.HistogramSnapshots() {
+		if h.Name == "chunk_e2e_stream_other_ns" {
+			if h.Count != 5 {
+				t.Fatalf("folded histogram count = %d, want 5", h.Count)
+			}
+			return
+		}
+	}
+	t.Fatal("chunk_e2e_stream_other_ns histogram missing")
+}
+
+func TestStreamCapDefaultAndName(t *testing.T) {
+	r := NewRegistry()
+	// The default cap tracks DefaultStreamCap distinct ids.
+	for id := uint32(0); id < DefaultStreamCap+4; id++ {
+		r.StreamCounter("reroutes", id).Inc()
+	}
+	tracked := 0
+	for id := uint32(0); id < DefaultStreamCap+4; id++ {
+		if r.StreamTracked(id) {
+			tracked++
+		}
+	}
+	if tracked != DefaultStreamCap {
+		t.Fatalf("tracked %d ids, want %d", tracked, DefaultStreamCap)
+	}
+	if got := r.StreamName("ledger_holes", 2); got != "ledger_holes_stream_2" {
+		t.Fatalf("StreamName = %q", got)
+	}
+	if got := r.StreamName("ledger_holes", DefaultStreamCap+3); got != "ledger_holes_stream_other" {
+		t.Fatalf("StreamName past cap = %q", got)
+	}
+}
+
+// TestStreamSeriesStableAcrossCalls pins the no-allocation contract the
+// pipeline relies on: the same (base, id) always returns the same
+// object, so hot paths can cache or re-ask without growing the
+// registry.
+func TestStreamSeriesStableAcrossCalls(t *testing.T) {
+	r := NewRegistry()
+	if r.StreamCounter("reroutes", 9) != r.StreamCounter("reroutes", 9) {
+		t.Fatal("StreamCounter not stable")
+	}
+	if r.StreamMeter("delivered", 9) != r.StreamMeter("delivered", 9) {
+		t.Fatal("StreamMeter not stable")
+	}
+	if r.StreamHistogram("chunk_e2e", "_ns", 9) != r.StreamHistogram("chunk_e2e", "_ns", 9) {
+		t.Fatal("StreamHistogram not stable")
+	}
+}
+
+func TestDupRegisterPanicsUnderTests(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("depth")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-kind re-registration did not panic with dupPanics on")
+		}
+	}()
+	r.Gauge("depth") // same name, different kind
+}
+
+func TestDupRegisterCountsInProduction(t *testing.T) {
+	// Flip to the production behaviour: count, don't crash.
+	old := dupPanics
+	dupPanics = false
+	defer func() { dupPanics = old }()
+
+	r := NewRegistry()
+	m := r.Meter("compress")
+	r.Counter("compress")   // meter name claimed as counter: dup 1
+	r.Histogram("compress") // and as histogram: dup 2
+	r.Gauge("compress")     // and as gauge: dup 3
+	if got := r.CounterValue(CtrDupRegister); got != 3 {
+		t.Fatalf("%s = %d, want 3", CtrDupRegister, got)
+	}
+	// The original series is untouched by the collisions...
+	m.Add(5)
+	for _, s := range r.Snapshots() {
+		if s.Name == "compress" && s.Items != 1 {
+			t.Fatalf("meter corrupted by dup registration: %+v", s)
+		}
+	}
+	// ...and the colliding callers still get usable (orphaned) objects
+	// rather than nil — each such call is itself another collision.
+	r.Counter("compress").Inc()
+	r.Histogram("compress").Observe(1)
+	if got := r.CounterValue(CtrDupRegister); got != 5 {
+		t.Fatalf("%s = %d, want 5 after two more collisions", CtrDupRegister, got)
+	}
+
+	// Same-kind re-registration stays legal and counts nothing.
+	if r.Meter("compress") != m {
+		t.Fatal("same-kind lookup returned a different meter")
+	}
+	if got := r.CounterValue(CtrDupRegister); got != 5 {
+		t.Fatalf("same-kind lookups counted as dups: %d", got)
+	}
+}
+
+func TestDupRegisterCallbackGauge(t *testing.T) {
+	old := dupPanics
+	dupPanics = false
+	defer func() { dupPanics = old }()
+
+	r := NewRegistry()
+	r.Counter("holes")
+	r.RegisterGauge("holes", func() float64 { return 42 }) // cross-kind: refused
+	if got := r.CounterValue(CtrDupRegister); got != 1 {
+		t.Fatalf("%s = %d, want 1", CtrDupRegister, got)
+	}
+	for _, g := range r.GaugeSnapshots() {
+		if g.Name == "holes" {
+			t.Fatalf("refused callback gauge still registered: %+v", g)
+		}
+	}
+	// Same-kind callback replacement stays legal (re-registration across
+	// runs replaces the closure).
+	r.RegisterGauge("live", func() float64 { return 1 })
+	r.RegisterGauge("live", func() float64 { return 2 })
+	for _, g := range r.GaugeSnapshots() {
+		if g.Name == "live" && g.Value != 2 {
+			t.Fatalf("callback gauge not replaced: %v", g.Value)
+		}
+	}
+	if got := r.CounterValue(CtrDupRegister); got != 1 {
+		t.Fatalf("legal replacement counted as dup: %d", got)
+	}
+}
+
+func TestStreamLabelConcurrent(t *testing.T) {
+	r := NewRegistry()
+	r.SetStreamCap(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 64; i++ {
+				id := uint32(g*64 + i)
+				r.StreamCounter("dup_drops", id).Inc()
+				_ = r.StreamTracked(id)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	total := int64(0)
+	names := 0
+	for _, c := range r.CounterSnapshots() {
+		if c.Name == CtrDupRegister {
+			if c.Value != 0 {
+				t.Fatalf("dup registrations under concurrency: %d", c.Value)
+			}
+			continue
+		}
+		total += c.Value
+		names++
+	}
+	if total != 256 {
+		t.Fatalf("lost increments: %d/256 (across %d series)", total, names)
+	}
+	// 8 tracked + 1 folded series.
+	if names != 9 {
+		t.Fatalf("series count = %d, want 9 (%s)", names, fmt.Sprint(names))
+	}
+}

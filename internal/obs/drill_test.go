@@ -1,0 +1,118 @@
+package obs_test
+
+// Acceptance drills for the self-diagnosis engine: starve a known stage
+// and check the verdict names it. These live in an external test
+// package because they drive the real pipeline and the simulation
+// harnesses, which sit above internal/obs in the import graph.
+
+import (
+	"sync"
+	"testing"
+
+	"numastream/internal/experiments"
+	"numastream/internal/faults"
+	"numastream/internal/metrics"
+	"numastream/internal/numa"
+	"numastream/internal/obs"
+	"numastream/internal/pipeline"
+	"numastream/internal/runtime"
+)
+
+// TestCompressStarvedVerdict runs a real loopback stream with a single
+// CodecHC compression worker behind a tiny queue — compression is the
+// engineered bottleneck — and checks the window covering the run says
+// compress-bound.
+func TestCompressStarvedVerdict(t *testing.T) {
+	reg := metrics.NewRegistry()
+	eng := obs.NewEngine(reg, obs.Options{Workers: map[string]int{"compress": 1, "send": 3}})
+	eng.Tick() // seed the diff base before the run
+
+	topo, _ := numa.Discover()
+	const chunks, size = 24, 256 << 10
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i / 64) // compressible runs: HC gets real work
+	}
+
+	sCfg := runtime.NodeConfig{Node: "starved-src", Role: runtime.Sender,
+		Groups: []runtime.TaskGroup{
+			{Type: runtime.Compress, Count: 1, Placement: runtime.OS()},
+			{Type: runtime.Send, Count: 3, Placement: runtime.OS()},
+		}}
+	rCfg := runtime.NodeConfig{Node: "starved-gw", Role: runtime.Receiver,
+		Groups: []runtime.TaskGroup{
+			{Type: runtime.Receive, Count: 2, Placement: runtime.OS()},
+			{Type: runtime.Decompress, Count: 4, Placement: runtime.OS()},
+		}}
+
+	ready := make(chan string, 1)
+	recvErr := make(chan error, 1)
+	go func() {
+		recvErr <- pipeline.RunReceiver(pipeline.ReceiverOptions{
+			Cfg: rCfg, Topo: topo, Bind: "127.0.0.1:0",
+			Expect: chunks, Ready: ready, Metrics: reg,
+			DisableBufPool: true,
+			Sink:           func(pipeline.Chunk) error { return nil },
+		})
+	}()
+	addr := <-ready
+
+	var mu sync.Mutex
+	sent := 0
+	if err := pipeline.RunSender(pipeline.SenderOptions{
+		Cfg: sCfg, Topo: topo, Peers: []string{addr}, Metrics: reg,
+		Codec: pipeline.CodecHC, QueueCap: 4,
+		DisableBufPool: true,
+		Source: func() []byte {
+			mu.Lock()
+			defer mu.Unlock()
+			if sent >= chunks {
+				return nil
+			}
+			sent++
+			return payload
+		},
+	}); err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	if err := <-recvErr; err != nil {
+		t.Fatalf("receiver: %v", err)
+	}
+
+	w := eng.Tick()
+	if w == nil {
+		t.Fatal("no window after second tick")
+	}
+	if w.Verdict != obs.VerdictCompressBound {
+		t.Fatalf("verdict = %s, want compress-bound (evidence %v, queues %+v, stages %+v)",
+			w.Verdict, w.Evidence, w.Queues, w.Stages)
+	}
+}
+
+// TestWireBoundVerdict runs the degraded-link simulation with the wire
+// capped at 2% for the whole run — the network is the engineered
+// bottleneck — and checks the virtual-time self-diagnosis says
+// wire-bound.
+func TestWireBoundVerdict(t *testing.T) {
+	res, err := experiments.DegradedSimWithSchedule(faults.LinkSchedule{
+		{Start: 0, End: 30, Capacity: 0.02},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("simulation produced no self-diagnosis windows")
+	}
+	if res.Dominant != obs.VerdictWireBound {
+		t.Fatalf("dominant = %s, want wire-bound (regimes %+v)", res.Dominant, res.Regimes)
+	}
+	wire := 0
+	for _, w := range res.Windows {
+		if w.Verdict == obs.VerdictWireBound {
+			wire++
+		}
+	}
+	if wire < len(res.Windows)/2 {
+		t.Fatalf("only %d/%d windows wire-bound", wire, len(res.Windows))
+	}
+}

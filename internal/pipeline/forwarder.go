@@ -208,7 +208,9 @@ func (f *forwarder) streamReroute(msg msgq.Message) {
 	f.streamMu.Lock()
 	ctr, ok := f.streams[c.Stream]
 	if !ok {
-		ctr = f.reg.Counter(fmt.Sprintf("reroutes_stream_%d", c.Stream))
+		// Capped per-stream series: folds into "reroutes_stream_other"
+		// past the registry's stream cap.
+		ctr = f.reg.StreamCounter("reroutes", c.Stream)
 		f.streams[c.Stream] = ctr
 	}
 	f.streamMu.Unlock()

@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
@@ -94,23 +93,44 @@ func NewLedger(reg *metrics.Registry, window int) *Ledger {
 	if w%64 != 0 {
 		w += 64 - w%64
 	}
-	return &Ledger{
+	l := &Ledger{
 		reg:          reg,
 		window:       w,
 		streams:      make(map[uint32]*streamLedger),
 		dupCtr:       reg.Counter(CtrDupDrops),
 		abandonedCtr: reg.Counter(CtrAbandoned),
 	}
+	// Outstanding holes across all streams, polled at scrape time — the
+	// churn-pressure signal the snapshot-diff observer reads.
+	reg.RegisterGauge(GaugeLedgerHoles, func() float64 { return float64(l.TotalHoles()) })
+	return l
 }
+
+// GaugeLedgerHoles is the live count of sequence holes across all
+// streams (chunks below a stream's high-water mark never admitted).
+// Per-stream variants "ledger_holes_stream_<id>" exist for tracked
+// streams.
+const GaugeLedgerHoles = "ledger_holes"
 
 func (l *Ledger) stream(id uint32) *streamLedger {
 	s, ok := l.streams[id]
 	if !ok {
 		s = &streamLedger{
-			bits:   make([]uint64, l.window/64),
-			dupCtr: l.reg.Counter(fmt.Sprintf("dup_drops_stream_%d", id)),
+			bits: make([]uint64, l.window/64),
+			// Past the registry's stream cap this folds into the
+			// shared "dup_drops_stream_other" counter.
+			dupCtr: l.reg.StreamCounter("dup_drops", id),
 		}
 		l.streams[id] = s
+		// Live hole gauge for the health scoreboard — tracked streams
+		// only, so an over-cap stream cannot shadow another's series.
+		// The callback takes l.mu via holesLocked's caller, so it must
+		// run outside it: GaugeSnapshots polls callbacks unlocked.
+		if l.reg.StreamTracked(id) {
+			id := id
+			l.reg.RegisterGauge(l.reg.StreamName("ledger_holes", id),
+				func() float64 { return float64(len(l.Holes(id))) })
+		}
 	}
 	return s
 }

@@ -109,13 +109,23 @@ func (so *stageObserver) doneFlow(worker int, t0 time.Time, bytes int, seq uint6
 }
 
 // watchQueue registers live depth, high-water and cumulative blocked-time
-// gauges for q, polled at scrape/sample time.
+// gauges for q, polled at scrape/sample time. Producer (put) and
+// consumer (get) blocked time are exposed separately — put-blocked is
+// backpressure from a slow consumer, get-blocked is starvation by a slow
+// producer, and bottleneck attribution (internal/obs) needs the two
+// apart — with the combined series kept for existing dashboards.
 func watchQueue[T any](reg *metrics.Registry, name string, q *queue.Queue[T]) {
 	reg.RegisterGauge(name+"_depth", func() float64 { return float64(q.Len()) })
 	reg.RegisterGauge(name+"_highwater", func() float64 { return float64(q.Stats().MaxDepth) })
 	reg.RegisterGauge(name+"_blocked_secs", func() float64 {
 		st := q.Stats()
 		return (st.PutBlocked + st.GetBlocked).Seconds()
+	})
+	reg.RegisterGauge(name+"_put_blocked_secs", func() float64 {
+		return q.Stats().PutBlocked.Seconds()
+	})
+	reg.RegisterGauge(name+"_get_blocked_secs", func() float64 {
+		return q.Stats().GetBlocked.Seconds()
 	})
 }
 
@@ -359,7 +369,7 @@ func RunSender(opts SenderOptions) error {
 	// on survivors and redialing. Counted here on the sender because the
 	// sender is the one whose chunks get diverted.
 	failoverCtr := opts.Metrics.Counter(CtrRelayFailovers)
-	failoverStreamCtr := opts.Metrics.Counter(fmt.Sprintf("relay_failovers_stream_%d", opts.StreamID))
+	failoverStreamCtr := opts.Metrics.StreamCounter("relay_failovers", opts.StreamID)
 	push.OnPeerDown = func(string) {
 		failoverCtr.Inc()
 		failoverStreamCtr.Inc()
@@ -749,6 +759,12 @@ func RunReceiver(opts ReceiverOptions) error {
 	delivered := 0
 	quarantined := 0
 	nextSeq := make(map[uint32]uint64) // per-stream next expected sequence
+	// Per-stream delivered meters, the health scoreboard's throughput
+	// series ("delivered_stream_<id>", folded past the registry's
+	// stream cap). Cached here because building the name costs an
+	// allocation the per-chunk path must not pay; the map is guarded by
+	// sinkMu like the rest of the delivery accounting.
+	streamMeters := make(map[uint32]*metrics.Meter)
 	done := make(chan struct{})
 	var doneOnce sync.Once
 	markDone := func() { doneOnce.Do(func() { close(done) }) }
@@ -771,6 +787,12 @@ func RunReceiver(opts ReceiverOptions) error {
 			}
 		}
 		delivered++
+		sm := streamMeters[c.Stream]
+		if sm == nil {
+			sm = opts.Metrics.StreamMeter("delivered", c.Stream)
+			streamMeters[c.Stream] = sm
+		}
+		sm.Add(len(c.Data))
 		// Sequence-gap accounting: a jump past the stream's expected
 		// sequence means chunks were lost or quarantined on the way; a
 		// regression is a late (reordered/duplicate) arrival. With

@@ -145,7 +145,9 @@ func (jr *journeyRecorder) streamHist(stream uint32) *metrics.Histogram {
 	defer jr.mu.Unlock()
 	h, ok := jr.perStream[stream]
 	if !ok {
-		h = jr.reg.Histogram(fmt.Sprintf("chunk_e2e_stream_%d_ns", stream))
+		// Capped per-stream series: past the registry's stream cap the
+		// histogram is the shared "chunk_e2e_stream_other_ns" bucket.
+		h = jr.reg.StreamHistogram("chunk_e2e", "_ns", stream)
 		jr.perStream[stream] = h
 	}
 	return h

@@ -39,6 +39,17 @@ type Queue[T any] struct {
 	getBlocks  uint64
 	putBlocked time.Duration
 	getBlocked time.Duration
+
+	// In-progress wait accounting: how many callers are blocked right
+	// now, and the sum of their block-start times (unix nanos). A
+	// Stats() taken mid-wait charges each waiter now-start, so
+	// blocked-time gauges move while a stall is happening — the live
+	// signal bottleneck attribution needs — instead of only after the
+	// waiter finally unblocks.
+	putWaiters      int
+	getWaiters      int
+	putWaitStartSum int64
+	getWaitStartSum int64
 }
 
 // New returns an empty queue with the given capacity. Capacity must be at
@@ -74,9 +85,13 @@ func (q *Queue[T]) Put(v T) error {
 	if q.count == len(q.buf) && !q.closed {
 		blockedAt := time.Now()
 		q.putBlocks++
+		q.putWaiters++
+		q.putWaitStartSum += blockedAt.UnixNano()
 		for q.count == len(q.buf) && !q.closed {
 			q.notFull.Wait()
 		}
+		q.putWaiters--
+		q.putWaitStartSum -= blockedAt.UnixNano()
 		q.putBlocked += time.Since(blockedAt)
 	}
 	if q.closed {
@@ -109,9 +124,13 @@ func (q *Queue[T]) Get() (T, error) {
 	if q.count == 0 && !q.closed {
 		blockedAt := time.Now()
 		q.getBlocks++
+		q.getWaiters++
+		q.getWaitStartSum += blockedAt.UnixNano()
 		for q.count == 0 && !q.closed {
 			q.notEmpty.Wait()
 		}
+		q.getWaiters--
+		q.getWaitStartSum -= blockedAt.UnixNano()
 		q.getBlocked += time.Since(blockedAt)
 	}
 	var zero T
@@ -158,15 +177,19 @@ func (q *Queue[T]) Closed() bool {
 	return q.closed
 }
 
-// Stats is a snapshot of queue activity counters.
+// Stats is a snapshot of queue activity counters. The blocked durations
+// include waits still in progress at snapshot time, so a stalled
+// pipeline's backpressure is visible while it is stalling.
 type Stats struct {
 	Puts       uint64        // total successful enqueues
 	Gets       uint64        // total successful dequeues
 	MaxDepth   int           // high-water mark of occupancy
 	PutBlocks  uint64        // Put calls that had to wait (backpressure events)
 	GetBlocks  uint64        // Get calls that had to wait (starvation events)
-	PutBlocked time.Duration // cumulative time Put callers spent waiting
-	GetBlocked time.Duration // cumulative time Get callers spent waiting
+	PutBlocked time.Duration // cumulative time Put callers spent waiting (incl. in progress)
+	GetBlocked time.Duration // cumulative time Get callers spent waiting (incl. in progress)
+	PutWaiters int           // Put callers blocked right now
+	GetWaiters int           // Get callers blocked right now
 	Depth      int           // current occupancy
 }
 
@@ -174,7 +197,7 @@ type Stats struct {
 func (q *Queue[T]) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Puts:       q.puts,
 		Gets:       q.gets,
 		MaxDepth:   q.maxDepth,
@@ -182,8 +205,22 @@ func (q *Queue[T]) Stats() Stats {
 		GetBlocks:  q.getBlocks,
 		PutBlocked: q.putBlocked,
 		GetBlocked: q.getBlocked,
+		PutWaiters: q.putWaiters,
+		GetWaiters: q.getWaiters,
 		Depth:      q.count,
 	}
+	// The clock is read only when someone is actually waiting, keeping
+	// the idle-scrape path as cheap as before.
+	if q.putWaiters > 0 || q.getWaiters > 0 {
+		now := time.Now().UnixNano()
+		if q.putWaiters > 0 {
+			st.PutBlocked += time.Duration(now*int64(q.putWaiters) - q.putWaitStartSum)
+		}
+		if q.getWaiters > 0 {
+			st.GetBlocked += time.Duration(now*int64(q.getWaiters) - q.getWaitStartSum)
+		}
+	}
+	return st
 }
 
 func (q *Queue[T]) enqueueLocked(v T) {

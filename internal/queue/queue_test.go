@@ -384,3 +384,58 @@ func TestStatsNoBlockedTimeOnFastPath(t *testing.T) {
 		t.Fatalf("uncontended queue reports blocking: %+v", st)
 	}
 }
+
+// TestStatsMidBlockVisibility pins the in-progress accounting: a stall
+// is visible in Stats *while* the waiter is still parked, not only
+// after it wakes — which is what lets a snapshot-diff observer call a
+// wedged pipeline blocked instead of idle.
+func TestStatsMidBlockVisibility(t *testing.T) {
+	q := New[int](1)
+	if err := q.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	go q.Put(2) // parks: queue full
+	waitFor := func(cond func(Stats) bool, what string) Stats {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if st := q.Stats(); cond(st) {
+				return st
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("timeout waiting for %s (stats %+v)", what, q.Stats())
+		return Stats{}
+	}
+	st := waitFor(func(st Stats) bool { return st.PutWaiters == 1 }, "a parked producer")
+	time.Sleep(20 * time.Millisecond)
+	st2 := q.Stats()
+	if st2.PutBlocked <= st.PutBlocked {
+		t.Fatalf("mid-block PutBlocked did not grow: %v then %v", st.PutBlocked, st2.PutBlocked)
+	}
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(func(st Stats) bool { return st.PutWaiters == 0 }, "the producer to unpark")
+
+	// Same shape for a starved consumer.
+	if _, err := q.Get(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		q.Get()
+		close(got)
+	}()
+	st = waitFor(func(st Stats) bool { return st.GetWaiters == 1 }, "a parked consumer")
+	time.Sleep(20 * time.Millisecond)
+	if st2 := q.Stats(); st2.GetBlocked <= st.GetBlocked {
+		t.Fatalf("mid-block GetBlocked did not grow: %v then %v", st.GetBlocked, st2.GetBlocked)
+	}
+	if err := q.Put(3); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	if st := q.Stats(); st.GetWaiters != 0 || st.PutWaiters != 0 {
+		t.Fatalf("waiters linger: %+v", st)
+	}
+}

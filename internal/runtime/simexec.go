@@ -125,6 +125,49 @@ type Stream struct {
 	compQ, sendQ, rxQ, decQ *sim.Queue
 }
 
+// QueueSample is one inter-stage queue's live state at a sample
+// instant, on virtual time: depth plus cumulative operation counts and
+// blocked seconds (including waits in progress). Queue names follow the
+// real pipeline's registry convention — compq, sendq, recvq, decq — so
+// the snapshot-diff observer (internal/obs) reads simulated and real
+// runs through the same signal names.
+type QueueSample struct {
+	Queue          string
+	Depth          int
+	Puts, Gets     uint64
+	PutBlocks      uint64
+	GetBlocks      uint64
+	PutBlockedSecs float64
+	GetBlockedSecs float64
+}
+
+// SampleQueues captures each existing inter-stage queue at the current
+// virtual time. Call it from a scheduled event during a run (the
+// degraded-mode sampler does); the slice is freshly allocated.
+func (s *Stream) SampleQueues() []QueueSample {
+	var out []QueueSample
+	add := func(name string, q *sim.Queue) {
+		if q == nil {
+			return
+		}
+		out = append(out, QueueSample{
+			Queue:          name,
+			Depth:          q.Len(),
+			Puts:           q.Puts(),
+			Gets:           q.Gets(),
+			PutBlocks:      q.PutBlocks(),
+			GetBlocks:      q.GetBlocks(),
+			PutBlockedSecs: q.PutBlockedSecs(),
+			GetBlockedSecs: q.GetBlockedSecs(),
+		})
+	}
+	add("compq", s.compQ)
+	add("sendq", s.sendQ)
+	add("recvq", s.rxQ)
+	add("decq", s.decQ)
+	return out
+}
+
 // StageQueueStats is one inter-stage queue's occupancy profile.
 type StageQueueStats struct {
 	Stage     string // the consuming stage ("compress", "send", ...)

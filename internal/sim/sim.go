@@ -182,18 +182,29 @@ type Queue struct {
 	eng      *Engine
 	capacity int
 	items    []any
-	getters  []func(item any, ok bool)
+	getters  []pendingGet
 	putters  []pendingPut
 	closed   bool
 
 	puts, gets uint64
 	maxDepth   int
 	putBlocks  uint64
+	getBlocks  uint64
+	// Cumulative virtual seconds producers/consumers spent blocked on
+	// this queue (completed waits; the accessors add in-progress waits).
+	putBlockedAccrued float64
+	getBlockedAccrued float64
 }
 
 type pendingPut struct {
-	item any
-	k    func(ok bool)
+	item  any
+	k     func(ok bool)
+	since float64 // virtual time the producer blocked
+}
+
+type pendingGet struct {
+	k     func(item any, ok bool)
+	since float64 // virtual time the consumer blocked
 }
 
 // NewQueue returns a bounded queue on the engine.
@@ -220,6 +231,32 @@ func (q *Queue) MaxDepth() int { return q.maxDepth }
 // backpressure count.
 func (q *Queue) PutBlocks() uint64 { return q.putBlocks }
 
+// GetBlocks returns how many Gets had to wait for an item — the queue's
+// starvation count.
+func (q *Queue) GetBlocks() uint64 { return q.getBlocks }
+
+// PutBlockedSecs returns cumulative virtual seconds producers spent
+// blocked on a full queue, including waits still in progress at the
+// current virtual time — the backpressure signal bottleneck attribution
+// reads mid-run.
+func (q *Queue) PutBlockedSecs() float64 {
+	s := q.putBlockedAccrued
+	for _, p := range q.putters {
+		s += q.eng.now - p.since
+	}
+	return s
+}
+
+// GetBlockedSecs returns cumulative virtual seconds consumers spent
+// blocked on an empty queue, including waits in progress.
+func (q *Queue) GetBlockedSecs() float64 {
+	s := q.getBlockedAccrued
+	for _, g := range q.getters {
+		s += q.eng.now - g.since
+	}
+	return s
+}
+
 // Put enqueues item, invoking k(true) once accepted (backpressure blocks
 // the producer until a consumer frees space) or k(false) if the queue is
 // closed first. k may be nil.
@@ -235,9 +272,10 @@ func (q *Queue) Put(item any, k func(ok bool)) {
 	if len(q.getters) > 0 {
 		g := q.getters[0]
 		q.getters = q.getters[1:]
+		q.getBlockedAccrued += q.eng.now - g.since
 		q.puts++
 		q.gets++
-		q.eng.After(0, func() { g(item, true) })
+		q.eng.After(0, func() { g.k(item, true) })
 		q.eng.After(0, func() { k(true) })
 		return
 	}
@@ -251,7 +289,7 @@ func (q *Queue) Put(item any, k func(ok bool)) {
 		return
 	}
 	q.putBlocks++
-	q.putters = append(q.putters, pendingPut{item: item, k: k})
+	q.putters = append(q.putters, pendingPut{item: item, k: k, since: q.eng.now})
 }
 
 // Get dequeues an item, invoking k(item, true) when one is available or
@@ -265,6 +303,7 @@ func (q *Queue) Get(k func(item any, ok bool)) {
 		if len(q.putters) > 0 {
 			p := q.putters[0]
 			q.putters = q.putters[1:]
+			q.putBlockedAccrued += q.eng.now - p.since
 			q.items = append(q.items, p.item)
 			q.puts++
 			q.eng.After(0, func() { p.k(true) })
@@ -277,6 +316,7 @@ func (q *Queue) Get(k func(item any, ok bool)) {
 		// capacity is tiny): hand over directly.
 		p := q.putters[0]
 		q.putters = q.putters[1:]
+		q.putBlockedAccrued += q.eng.now - p.since
 		q.puts++
 		q.gets++
 		q.eng.After(0, func() { p.k(true) })
@@ -287,7 +327,8 @@ func (q *Queue) Get(k func(item any, ok bool)) {
 		q.eng.After(0, func() { k(nil, false) })
 		return
 	}
-	q.getters = append(q.getters, k)
+	q.getBlocks++
+	q.getters = append(q.getters, pendingGet{k: k, since: q.eng.now})
 }
 
 // Close marks the queue closed: waiting and future producers fail,
@@ -299,13 +340,15 @@ func (q *Queue) Close() {
 	q.closed = true
 	for _, p := range q.putters {
 		p := p
+		q.putBlockedAccrued += q.eng.now - p.since
 		q.eng.After(0, func() { p.k(false) })
 	}
 	q.putters = nil
 	if len(q.items) == 0 {
 		for _, g := range q.getters {
 			g := g
-			q.eng.After(0, func() { g(nil, false) })
+			q.getBlockedAccrued += q.eng.now - g.since
+			q.eng.After(0, func() { g.k(nil, false) })
 		}
 		q.getters = nil
 	}

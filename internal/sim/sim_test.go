@@ -402,3 +402,85 @@ func TestPropertyQueueConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestQueueBlockedVirtualTime pins the virtual-clock blocked-seconds
+// accounting: a producer parked on a full queue accrues put-blocked
+// time until a consumer admits it, a consumer parked on an empty queue
+// accrues get-blocked time until a producer hands off, and mid-wait
+// state is visible through the accessors before the handoff resolves.
+func TestQueueBlockedVirtualTime(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 1)
+
+	// Fill, then park a producer at t=1; drain at t=4 → 3 virtual
+	// seconds of put-block.
+	e.Schedule(0, func() { q.Put("a", func(ok bool) {}) })
+	putDone := math.NaN()
+	e.Schedule(1, func() {
+		q.Put("b", func(ok bool) { putDone = e.Now() })
+	})
+	midPut := 0.0
+	e.Schedule(3, func() { midPut = q.PutBlockedSecs() })
+	e.Schedule(4, func() { q.Get(func(item any, ok bool) {}) })
+	e.Run()
+	if putDone != 4 {
+		t.Fatalf("blocked Put resolved at t=%v, want 4", putDone)
+	}
+	if midPut != 2 {
+		t.Fatalf("mid-wait PutBlockedSecs = %v, want 2 (parked t=1..3)", midPut)
+	}
+	if got := q.PutBlockedSecs(); got != 3 {
+		t.Fatalf("PutBlockedSecs = %v, want 3", got)
+	}
+	if q.PutBlocks() != 1 {
+		t.Fatalf("PutBlocks = %d, want 1", q.PutBlocks())
+	}
+
+	// Drain the admitted item, park a consumer at t=5, hand off at t=9
+	// → 4 virtual seconds of get-block.
+	e2 := NewEngine()
+	q2 := NewQueue(e2, 1)
+	getDone := math.NaN()
+	e2.Schedule(5, func() {
+		q2.Get(func(item any, ok bool) { getDone = e2.Now() })
+	})
+	midGet := 0.0
+	e2.Schedule(7, func() { midGet = q2.GetBlockedSecs() })
+	e2.Schedule(9, func() { q2.Put("c", func(ok bool) {}) })
+	e2.Run()
+	if getDone != 9 {
+		t.Fatalf("blocked Get resolved at t=%v, want 9", getDone)
+	}
+	if midGet != 2 {
+		t.Fatalf("mid-wait GetBlockedSecs = %v, want 2 (parked t=5..7)", midGet)
+	}
+	if got := q2.GetBlockedSecs(); got != 4 {
+		t.Fatalf("GetBlockedSecs = %v, want 4", got)
+	}
+	if q2.GetBlocks() != 1 {
+		t.Fatalf("GetBlocks = %d, want 1", q2.GetBlocks())
+	}
+}
+
+// TestQueueCloseSettlesBlockedTime: Close flushes parked producers and
+// consumers, and their waits accrue up to the close instant.
+func TestQueueCloseSettlesBlockedTime(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e, 1)
+	e.Schedule(0, func() { q.Put("a", func(ok bool) {}) })
+	e.Schedule(1, func() { q.Put("b", func(ok bool) {}) }) // parks
+	e.Schedule(6, func() { q.Close() })
+	e.Run()
+	if got := q.PutBlockedSecs(); got != 5 {
+		t.Fatalf("PutBlockedSecs after Close = %v, want 5", got)
+	}
+
+	e2 := NewEngine()
+	q2 := NewQueue(e2, 1)
+	e2.Schedule(2, func() { q2.Get(func(item any, ok bool) {}) }) // parks
+	e2.Schedule(5, func() { q2.Close() })
+	e2.Run()
+	if got := q2.GetBlockedSecs(); got != 3 {
+		t.Fatalf("GetBlockedSecs after Close = %v, want 3", got)
+	}
+}

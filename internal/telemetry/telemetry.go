@@ -12,6 +12,13 @@
 //	/trace        (ServeWith with a Tracer) live Chrome trace-event JSON
 //	              snapshot of the run so far — load it at ui.perfetto.dev
 //	              without waiting for the process to exit.
+//	/status       (ServeWith with an Obs engine) the pipeline's live
+//	              self-diagnosis: current bottleneck verdict with
+//	              evidence, the latest window's per-stage / per-queue /
+//	              pool / churn signals, and the regime log. JSON by
+//	              default; ?format=text for a terminal summary,
+//	              ?streams=1 to include the per-stream health
+//	              scoreboard, ?log=1 for the regime log as JSONL.
 //	/debug/vars   the standard expvar JSON dump (the registry is
 //	              published under "numastream").
 //	/debug/pprof  the standard net/http/pprof profiles.
@@ -23,6 +30,7 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -34,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"numastream/internal/metrics"
+	"numastream/internal/obs"
 	"numastream/internal/trace"
 )
 
@@ -54,6 +63,10 @@ type Options struct {
 	// Tracer, when non-nil, is exposed at /trace as a live Chrome
 	// trace-event JSON snapshot.
 	Tracer *trace.Tracer
+	// Obs, when non-nil, is exposed at /status as the live
+	// self-diagnosis view (verdict, latest window, regime log,
+	// per-stream scoreboard).
+	Obs *obs.Engine
 }
 
 // Serve starts a telemetry server for reg on addr (":0" picks a free
@@ -101,6 +114,27 @@ func ServeWith(addr string, reg *metrics.Registry, opts Options) (*Server, error
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			tr.WriteJSON(w)
+		})
+	}
+	if opts.Obs != nil {
+		eng := opts.Obs
+		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+			q := r.URL.Query()
+			if q.Get("log") == "1" {
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				obs.WriteRegimesJSONL(w, eng.Regimes())
+				return
+			}
+			st := eng.Status(q.Get("streams") == "1")
+			if q.Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				st.WriteText(w)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(st)
 		})
 	}
 	mux.Handle("/debug/vars", expvar.Handler())
