@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench churn-drill report-drill
+.PHONY: build test vet race check bench churn-drill report-drill stream-drill
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ vet:
 # observer (scrape-while-streaming).
 race:
 	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/obs/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
-	$(GO) test -race -run 'TestChurn|TestMultiHop' ./internal/cluster/... ./internal/experiments/...
+	$(GO) test -race -run 'TestChurn|TestMultiHop|TestThousand' ./internal/cluster/... ./internal/experiments/...
 
 # Churn drill: the seeded netsim churn storm (multi-hop topology events,
 # per-event fault attribution) and the real-mode relay kill/restart
@@ -44,9 +44,22 @@ report-drill:
 	fi; \
 	echo "report-drill: $$windows windows, every one carries a verdict"
 
+# Stream drill: the thousand-stream gateway soak. First a deterministic
+# 256-stream loopback pass through the real sharded receive path — the
+# exactly-once ledger must close on every stream (holes 0, abandoned 0)
+# with the slowest stream at >= 50% of fair per-stream throughput. Then
+# the 1000-stream simulated drill twice with the same seed: both runs
+# must pass the same assertions and render byte-identical JSON.
+stream-drill:
+	$(GO) run ./cmd/loadgen --mode loopback --streams 256 --chunks 16 --chunk-bytes 16384 --seed 42 --assert
+	$(GO) run ./cmd/loadgen --streams 1000 --seed 42 --json stream-drill-a.json --assert
+	$(GO) run ./cmd/loadgen --streams 1000 --seed 42 --json stream-drill-b.json --assert
+	cmp stream-drill-a.json stream-drill-b.json
+	@echo "stream-drill: 256-stream loopback soak + byte-identical 1000-stream sim"
+
 # The single CI entry point: build, vet, tests, race pass, churn drill,
-# report drill.
-check: build vet test race churn-drill report-drill
+# report drill, stream drill.
+check: build vet test race churn-drill report-drill stream-drill
 
 # Human-readable benchmark run over the root suite (the paper figures,
 # the loopback pipeline, queues, LZ4).
@@ -61,11 +74,17 @@ bench-json:
 	$(GO) test -run '^$$' -bench=. -benchmem -json > $(BENCH_OUT)
 
 # Benchmark regression gate: re-run only the gated hot-path benchmarks
-# and diff them against the committed baseline snapshot. Fails when
-# either regresses by more than 15% ns/op. BENCH_BASE selects the
-# baseline (the newest committed BENCH_PR*.json).
+# and diff them against the committed baseline snapshot. Fails when a
+# gated benchmark regresses more than 15% ns/op after host-speed
+# normalization. Two defenses keep the gate meaningful on arbitrary CI
+# hosts: benchdiff compares best-of-N across the -count samples (the
+# minimum is the least-noise estimator — interference only ever slows a
+# run down), and the queue spin benchmark calibrates for absolute host
+# speed (its fixed, allocation-free work measures the machine, so the
+# committed baseline from a faster box still gates a slower one).
+# BENCH_BASE selects the baseline (the newest committed BENCH_PR*.json).
 BENCH_BASE ?= BENCH_PR6.json
 GATED_BENCHMARKS = BenchmarkLoopbackPipeline BenchmarkQueueThroughput
 bench-gate:
-	$(GO) test -run '^$$' -bench '^(BenchmarkLoopbackPipeline|BenchmarkQueueThroughput)$$' -benchmem -json > bench-gate.json
-	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASE) -current bench-gate.json $(GATED_BENCHMARKS)
+	$(GO) test -run '^$$' -bench '^(BenchmarkLoopbackPipeline|BenchmarkQueueThroughput)$$' -count=6 -benchmem -json > bench-gate.json
+	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASE) -current bench-gate.json -calibrate BenchmarkQueueThroughput $(GATED_BENCHMARKS)

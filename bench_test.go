@@ -279,6 +279,84 @@ func BenchmarkQueueThroughput(b *testing.B) {
 func BenchmarkLoopbackPipeline(b *testing.B)       { benchLoopback(b, false) }
 func BenchmarkLoopbackPipelineNoPool(b *testing.B) { benchLoopback(b, true) }
 
+// BenchmarkGatewayFanIn measures multi-sender fan-in at the gateway:
+// eight concurrent senders through the legacy single pull queue versus
+// the sharded receive path. The sharded variant removes head-of-line
+// blocking between streams (the thousand-stream gateway's core claim);
+// with healthy homogeneous senders the two should be comparable —
+// sharding must not tax the fan-in it exists to protect.
+func BenchmarkGatewayFanIn(b *testing.B) {
+	b.Run("single", func(b *testing.B) { benchFanIn(b, 0) })
+	b.Run("sharded", func(b *testing.B) { benchFanIn(b, 4) })
+}
+
+func benchFanIn(b *testing.B, shards int) {
+	b.ReportAllocs()
+	const (
+		senders   = 8
+		chunkSize = 256 << 10
+	)
+	chunk := bytes.Repeat([]byte("fan-in payload "), chunkSize/15+1)[:chunkSize]
+	host := numastream.SyntheticTopology(1, 4)
+	topoInfo := numastream.TopologyInfo{Sockets: 1, CoresPerSocket: 4, NICSocket: 0}
+	rcvCfg, err := numastream.GenerateReceiverConfig("gw", topoInfo,
+		numastream.GenerateOptions{Streams: 1, Compression: true, SendThreads: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sndCfg, err := numastream.GenerateSenderConfig("src", topoInfo,
+		numastream.GenerateOptions{Streams: 1, Compression: true, SendThreads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	per := b.N / senders
+	total := 0
+	counts := make([]int, senders)
+	for s := range counts {
+		counts[s] = per
+		total += per
+	}
+	counts[0] += b.N - total
+
+	b.SetBytes(chunkSize)
+	b.ResetTimer()
+
+	ready := make(chan string, 1)
+	recvDone := make(chan error, 1)
+	go func() {
+		recvDone <- numastream.StartReceiver(numastream.ReceiverOptions{
+			Cfg: rcvCfg, Topo: host, Bind: "127.0.0.1:0",
+			Expect: b.N, Ready: ready, Shards: shards,
+		})
+	}()
+	addr := <-ready
+	errs := make(chan error, senders)
+	for s := 0; s < senders; s++ {
+		go func(s int) {
+			sent := 0
+			errs <- numastream.StartSender(numastream.SenderOptions{
+				Cfg: sndCfg, Topo: host, Peers: []string{addr}, StreamID: uint32(s),
+				Source: func() []byte {
+					if sent >= counts[s] {
+						return nil
+					}
+					sent++
+					return chunk
+				},
+			})
+		}(s)
+	}
+	for s := 0; s < senders; s++ {
+		if err := <-errs; err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-recvDone; err != nil {
+		b.Fatal(err)
+	}
+}
+
 func benchLoopback(b *testing.B, disablePool bool) {
 	b.ReportAllocs()
 	const chunkSize = 1 << 20

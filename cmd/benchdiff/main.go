@@ -22,6 +22,7 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline test2json snapshot (required)")
 	current := flag.String("current", "", "current test2json snapshot (required)")
 	maxRegress := flag.Float64("max-regress", 0.15, "allowed ns/op regression as a fraction (0.15 = +15%)")
+	calibrate := flag.String("calibrate", "", "host-speed calibration benchmark: gated ns/op are normalized by this benchmark's current/baseline ratio, so a committed baseline stays comparable across CI hosts")
 	flag.Parse()
 
 	names := flag.Args()
@@ -39,7 +40,15 @@ func main() {
 		fatal(err)
 	}
 
-	deltas, failures := benchcmp.Compare(base, cur, names, *maxRegress)
+	var (
+		deltas   []benchcmp.Delta
+		failures []string
+	)
+	if *calibrate != "" {
+		deltas, failures = benchcmp.CompareCalibrated(base, cur, names, *calibrate, *maxRegress)
+	} else {
+		deltas, failures = benchcmp.Compare(base, cur, names, *maxRegress)
+	}
 	for _, d := range deltas {
 		fmt.Println(d)
 	}

@@ -1,0 +1,115 @@
+// Command loadgen drives the thousand-stream gateway drills: a
+// seedable, rate-limited stream fleet against the sharded receive
+// path, in either deterministic simulation or real loopback execution.
+//
+// Usage:
+//
+//	loadgen --streams 1000 --seed 42                 # sim: byte-identical per seed
+//	loadgen --mode loopback --streams 256 --assert   # real sockets, fairness-checked
+//	loadgen --streams 100 --fault-plan 'reset@w10, stall@1MB:50ms, seed=7'
+//
+// The sim renders the same bytes for the same flags on any machine:
+// no wall clock is read, so --json output can be diffed across runs
+// and hosts. Loopback runs the real pipeline (real senders, sockets,
+// shards, credits, ledger); its timings are wall-clock, its accounting
+// is still exact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"numastream/internal/experiments"
+	"numastream/internal/faults"
+)
+
+func main() {
+	mode := flag.String("mode", "sim", "sim (deterministic virtual time) | loopback (real sockets)")
+	streams := flag.Int("streams", 1000, "concurrent streams")
+	qps := flag.Float64("qps", 100, "per-stream chunk production rate")
+	duration := flag.Duration("duration", time.Second, "per-stream production span; chunks per stream = qps * duration unless -chunks is set")
+	chunks := flag.Int("chunks", 0, "chunks per stream (overrides -duration)")
+	chunkBytes := flag.Int("chunk-bytes", 64<<10, "bytes per chunk")
+	maxConc := flag.Int("max-concurrency", 0, "cap on concurrently active streams; 0 = all at once")
+	seed := flag.Int64("seed", 1, "RNG seed: jitter, fault victims")
+	faultPlan := flag.String("fault-plan", "", "fault plan DSL: 'reset@w10, stall@1MB:50ms, corrupt@w5:bit3, refuse:0-2, seed=7'")
+	shards := flag.Int("shards", 0, "gateway receive shards; 0 = mode default (sim: 4, loopback: NUMA-aligned)")
+	credit := flag.Int("credit", 0, "per-stream credit window; 0 = default (8)")
+	maxStreams := flag.Int("max-streams", 0, "admission cap; 0 = unlimited (sim only)")
+	streamCap := flag.Int("stream-cap", 0, "metrics registry per-stream series cap; 0 = default (64)")
+	jsonPath := flag.String("json", "", "write the machine-readable report to this file ('-' = stdout, replacing the table)")
+	assertRun := flag.Bool("assert", false, "exit nonzero unless every ledger closed and -min-share held")
+	minShare := flag.Float64("min-share", 0.5, "fairness floor for -assert: slowest stream >= this share of fair per-stream throughput")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := experiments.ThousandStreamConfig{
+		Streams:        *streams,
+		Chunks:         *chunks,
+		ChunkBytes:     *chunkBytes,
+		QPS:            *qps,
+		Shards:         *shards,
+		Credit:         *credit,
+		MaxStreams:     *maxStreams,
+		StreamCap:      *streamCap,
+		MaxConcurrency: *maxConc,
+		Seed:           *seed,
+	}
+	if cfg.Chunks <= 0 {
+		cfg.Chunks = int(*qps * duration.Seconds())
+		if cfg.Chunks < 1 {
+			cfg.Chunks = 1
+		}
+	}
+	if *faultPlan != "" {
+		plan, err := faults.ParseFaultPlan(*faultPlan)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Plan = plan
+	}
+
+	var (
+		res experiments.ThousandStreamResult
+		err error
+	)
+	switch *mode {
+	case "sim":
+		res, err = experiments.ThousandStreamSim(cfg)
+	case "loopback":
+		res, err = experiments.ThousandStreamLoopback(cfg)
+	default:
+		fail(fmt.Errorf("unknown -mode %q (want sim or loopback)", *mode))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonPath != "-" {
+		fmt.Print(experiments.FormatThousandStream(res))
+	}
+	if *jsonPath != "" {
+		b, err := res.JSON()
+		if err != nil {
+			fail(err)
+		}
+		if *jsonPath == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonPath, b, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *assertRun {
+		if err := res.Check(*minShare); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loadgen: PASS — %d streams, ledger closed, min share %.0f%% >= %.0f%%\n",
+			res.Admitted, res.MinShare*100, *minShare*100)
+	}
+}

@@ -61,12 +61,19 @@ func main() {
 		maxBadChunks = flag.Int("max-bad-chunks", 0, "receiver: abort after more than this many quarantined chunks (0 = no limit)")
 		exactlyOnce  = flag.Bool("exactly-once", false, "receiver: dedup repeated (stream, seq) chunks with the exactly-once ledger; dup_drops and ledger_abandoned land in -telemetry-addr's /metrics")
 
+		// Thousand-stream gateway (receiver scale).
+		shardsFlag   = flag.Int("shards", 0, "receiver: sharded receive queues — 0 = legacy single pull queue, -1 = one shard per NUMA domain, >0 explicit shard count")
+		maxStreams   = flag.Int("max-streams", 0, "receiver: admission cap on concurrent streams; streams past it are rejected and counted in streams_rejected (0 = unlimited; needs -shards)")
+		streamCredit = flag.Int("stream-credit", 0, "receiver: per-stream credit window bounding one stream's in-flight chunks; a stalled consumer blocks only its own stream (default 8; needs -shards)")
+		streamCap    = flag.Int("stream-cap", 0, "per-stream metrics series cap: distinct stream ids tracked before folding into the _stream_other bucket (default 64)")
+
 		// Fault injection (sender transport; for drills and tests).
 		faultSeed         = flag.Int64("fault-seed", 1, "fault plan RNG seed")
 		faultResetBytes   = flag.Int64("fault-reset-bytes", 0, "inject a connection reset after this many sent bytes (0 = off)")
 		faultStallBytes   = flag.Int64("fault-stall-bytes", 0, "inject a write stall after this many sent bytes (0 = off)")
 		faultStall        = flag.Duration("fault-stall", time.Second, "duration of the injected stall")
 		faultCorruptBytes = flag.Int64("fault-corrupt-bytes", 0, "flip one payload bit after this many sent bytes (0 = off)")
+		faultPlanStr      = flag.String("fault-plan", "", "sender: full fault plan DSL, e.g. 'reset@w10, stall@1MB:50ms, corrupt@2MB:bit3, refuse:0-2, seed=7'; overrides the single-fault flags")
 	)
 	flag.Parse()
 
@@ -94,6 +101,9 @@ func main() {
 	}
 
 	reg := metrics.NewRegistry()
+	if *streamCap > 0 {
+		reg.SetStreamCap(*streamCap)
+	}
 	var tracer *trace.Tracer
 	if *tracePath != "" {
 		tracer = trace.New(1 << 20)
@@ -146,17 +156,24 @@ func main() {
 			DisableBufPool: disableBufPool,
 		}
 		var plan faults.Plan
-		plan.Seed = *faultSeed
-		if *faultResetBytes > 0 {
-			plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Reset, AfterBytes: *faultResetBytes})
+		if *faultPlanStr != "" {
+			plan, err = faults.ParseFaultPlan(*faultPlanStr)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			plan.Seed = *faultSeed
+			if *faultResetBytes > 0 {
+				plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Reset, AfterBytes: *faultResetBytes})
+			}
+			if *faultStallBytes > 0 {
+				plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Stall, AfterBytes: *faultStallBytes, Stall: *faultStall})
+			}
+			if *faultCorruptBytes > 0 {
+				plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Corrupt, AfterBytes: *faultCorruptBytes, Bit: -1})
+			}
 		}
-		if *faultStallBytes > 0 {
-			plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Stall, AfterBytes: *faultStallBytes, Stall: *faultStall})
-		}
-		if *faultCorruptBytes > 0 {
-			plan.Faults = append(plan.Faults, faults.Fault{Kind: faults.Corrupt, AfterBytes: *faultCorruptBytes, Bit: -1})
-		}
-		if len(plan.Faults) > 0 {
+		if len(plan.Faults) > 0 || len(plan.Refuse) > 0 {
 			sOpts.Dial = faults.NewInjector(plan).Dialer(nil)
 		}
 		err = pipeline.RunSender(sOpts)
@@ -171,6 +188,10 @@ func main() {
 			FailHard:     *failHard,
 			MaxBadChunks: *maxBadChunks,
 			ExactlyOnce:  *exactlyOnce,
+
+			Shards:       *shardsFlag,
+			MaxStreams:   *maxStreams,
+			StreamCredit: *streamCredit,
 
 			DisableBufPool: disableBufPool,
 		}

@@ -71,6 +71,23 @@ func TestParseIgnoresBannersAndProse(t *testing.T) {
 	}
 }
 
+func TestParseKeepsFastestSample(t *testing.T) {
+	// `go test -count=3` emits three samples of the same benchmark; the
+	// parser must keep the fastest (minimum ns/op), not the last — the
+	// gate compares best-of-N so one scheduler hiccup cannot fail a PR.
+	stream := ev("BenchmarkX", `BenchmarkX \t 100\t 72.0 ns/op\n`) +
+		ev("BenchmarkX", `BenchmarkX \t 120\t 50.0 ns/op\t 3 B/op\n`) +
+		ev("BenchmarkX", `BenchmarkX \t 90\t 91.0 ns/op\n`)
+	got, err := ParseTest2JSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got["BenchmarkX"]
+	if r.NsPerOp != 50.0 || r.N != 120 || r.BytesPerOp != 3 {
+		t.Errorf("want the 50 ns/op sample kept whole, got %+v", r)
+	}
+}
+
 func TestParseRejectsMalformedJSON(t *testing.T) {
 	if _, err := ParseTest2JSON(strings.NewReader("not json\n")); err == nil {
 		t.Error("malformed line accepted")
@@ -101,6 +118,47 @@ func TestCompareGate(t *testing.T) {
 	cur["BenchmarkB"] = Result{Name: "BenchmarkB", NsPerOp: 30}
 	if _, failures := Compare(base, cur, []string{"BenchmarkA", "BenchmarkB"}, 0.15); len(failures) != 0 {
 		t.Errorf("improvement flagged: %v", failures)
+	}
+}
+
+func TestCompareCalibratedNormalizesHostSpeed(t *testing.T) {
+	// The current host runs the calibration spin 50% slower than the
+	// baseline host. A gated benchmark that slowed down by the same
+	// factor is the host's fault, not the code's; one that slowed down
+	// 2x is a real regression even after normalization.
+	base := map[string]Result{
+		"BenchmarkSpin": {Name: "BenchmarkSpin", NsPerOp: 60},
+		"BenchmarkA":    {Name: "BenchmarkA", NsPerOp: 1000},
+		"BenchmarkB":    {Name: "BenchmarkB", NsPerOp: 1000},
+	}
+	cur := map[string]Result{
+		"BenchmarkSpin": {Name: "BenchmarkSpin", NsPerOp: 90},
+		"BenchmarkA":    {Name: "BenchmarkA", NsPerOp: 1500}, // +50% raw, +-0% normalized
+		"BenchmarkB":    {Name: "BenchmarkB", NsPerOp: 2000}, // +100% raw, +33% normalized
+	}
+	deltas, failures := CompareCalibrated(base, cur, []string{"BenchmarkA", "BenchmarkB", "BenchmarkSpin"}, "BenchmarkSpin", 0.15)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas %v", deltas)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkB") {
+		t.Errorf("want only BenchmarkB to fail, got %v", failures)
+	}
+	for _, d := range deltas {
+		switch d.Name {
+		case "BenchmarkA", "BenchmarkSpin":
+			if d.Regression || d.Ratio < 0.99 || d.Ratio > 1.01 {
+				t.Errorf("%s: want ~1.0 normalized ratio, got %+v", d.Name, d)
+			}
+		case "BenchmarkB":
+			if !d.Regression {
+				t.Errorf("BenchmarkB not flagged: %+v", d)
+			}
+		}
+	}
+
+	// A missing calibration benchmark fails closed.
+	if _, failures := CompareCalibrated(base, cur, []string{"BenchmarkA"}, "BenchmarkGone", 0.15); len(failures) != 1 {
+		t.Errorf("missing calibration accepted: %v", failures)
 	}
 }
 

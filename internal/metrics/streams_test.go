@@ -171,6 +171,68 @@ func TestDupRegisterCallbackGauge(t *testing.T) {
 	}
 }
 
+// TestStreamCapBoundsRegistryAtThousandStreams is the thousand-stream
+// gateway's cardinality contract: 1,000 distinct stream ids hammering
+// every per-stream series kind must leave the registry with at most
+// cap+1 series per base (cap tracked + one "other" fold), while the
+// folded aggregates stay exact.
+func TestStreamCapBoundsRegistryAtThousandStreams(t *testing.T) {
+	const (
+		streams = 1000
+		cap     = 64
+	)
+	r := NewRegistry()
+	r.SetStreamCap(cap)
+	for id := uint32(0); id < streams; id++ {
+		r.StreamCounter("dup_drops", id).Inc()
+		r.StreamMeter("delivered", id).Add(100)
+		r.StreamHistogram("chunk_e2e", "_ns", id).Observe(int64(id))
+	}
+
+	counters, meters, hists := 0, 0, 0
+	var counterTotal int64
+	for _, c := range r.CounterSnapshots() {
+		if c.Name == CtrDupRegister {
+			continue
+		}
+		counters++
+		counterTotal += c.Value
+	}
+	var meterItems, meterBytes int64
+	for _, m := range r.Snapshots() {
+		meters++
+		meterItems += m.Items
+		meterBytes += m.Bytes
+	}
+	var histCount int64
+	for _, h := range r.HistogramSnapshots() {
+		hists++
+		histCount += h.Count
+	}
+
+	if counters > cap+1 || meters > cap+1 || hists > cap+1 {
+		t.Fatalf("series counts %d/%d/%d exceed cap+1 = %d: registry cardinality unbounded",
+			counters, meters, hists, cap+1)
+	}
+	if counters != cap+1 {
+		t.Fatalf("counter series = %d, want %d (tracked) + 1 (other)", counters, cap+1)
+	}
+	if counterTotal != streams {
+		t.Fatalf("counter total = %d, want %d: folding lost increments", counterTotal, streams)
+	}
+	if meterItems != streams || meterBytes != streams*100 {
+		t.Fatalf("meter totals = %d items / %d bytes, want %d / %d",
+			meterItems, meterBytes, streams, streams*100)
+	}
+	if histCount != streams {
+		t.Fatalf("histogram observations = %d, want %d", histCount, streams)
+	}
+	// The fold bucket absorbed exactly the over-cap remainder.
+	if got := r.CounterValue("dup_drops_stream_other"); got != streams-cap {
+		t.Fatalf("folded counter = %d, want %d", got, streams-cap)
+	}
+}
+
 func TestStreamLabelConcurrent(t *testing.T) {
 	r := NewRegistry()
 	r.SetStreamCap(8)

@@ -807,6 +807,10 @@ type Pull struct {
 	// to pooled frames.
 	pool       *bufpool.Pool
 	poolDomain int
+
+	// shards, set through SetDispatch, switches the read loops from the
+	// shared inbox to per-shard rings (see shard.go).
+	shards *shardedInbox
 }
 
 // SetBufferPool makes the read loops rent part buffers from pool (on
@@ -913,6 +917,7 @@ func (p *Pull) readLoop(conn net.Conn) {
 	counters := p.counters
 	pool := p.pool
 	poolDomain := p.poolDomain
+	shards := p.shards
 	p.mu.Unlock()
 	ps, r, err := serverHandshake(conn, label)
 	if err != nil {
@@ -967,6 +972,22 @@ func (p *Pull) readLoop(conn net.Conn) {
 			RTT:         ps.rtt,
 			Frame:       frame,
 		}
+		if shards != nil {
+			// Sharded receive: classify on this connection's goroutine —
+			// a dispatch that blocks (a stream out of credit) stalls only
+			// this peer's connection, which is exactly the per-stream
+			// backpressure the gateway wants TCP to propagate.
+			idx, ok := shards.dispatch(&d)
+			if !ok {
+				frame.Release() // rejected (admission) or gate closed
+				continue
+			}
+			if err := shards.put(idx, d); err != nil {
+				frame.Release()
+				return
+			}
+			continue
+		}
 		if err := p.inbox.Put(d); err != nil {
 			frame.Release() // socket closed; don't strand the leases
 			return
@@ -1013,5 +1034,11 @@ func (p *Pull) Close() error {
 	}
 	p.wg.Wait()
 	p.inbox.Close()
+	p.mu.Lock()
+	si := p.shards
+	p.mu.Unlock()
+	if si != nil {
+		si.close()
+	}
 	return nil
 }

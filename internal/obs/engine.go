@@ -28,13 +28,21 @@ type Options struct {
 	Workers map[string]int
 	// Node labels this engine's reports (hostname, role, drill name).
 	Node string
+	// ScoreboardMax bounds the per-stream health rows retained in each
+	// window (Window.LimitStreams): 0 means DefaultScoreboardMax,
+	// negative means unlimited. At gateway scale the full scoreboard is
+	// the status payload's bulk; the cap keeps every unhealthy stream
+	// and the slowest healthy ones, with the rest counted in
+	// StreamsOmitted.
+	ScoreboardMax int
 }
 
 // Engine defaults.
 const (
-	DefaultInterval  = 500 * time.Millisecond
-	DefaultWindowCap = 240 // 2 minutes of history at the default interval
-	DefaultRegimeCap = 256
+	DefaultInterval      = 500 * time.Millisecond
+	DefaultWindowCap     = 240 // 2 minutes of history at the default interval
+	DefaultRegimeCap     = 256
+	DefaultScoreboardMax = 64
 )
 
 // Regime is one verdict transition: at T seconds on the run's clock the
@@ -81,6 +89,9 @@ func NewEngine(reg *metrics.Registry, opts Options) *Engine {
 	}
 	if opts.RegimeCap <= 0 {
 		opts.RegimeCap = DefaultRegimeCap
+	}
+	if opts.ScoreboardMax == 0 {
+		opts.ScoreboardMax = DefaultScoreboardMax
 	}
 	return &Engine{
 		reg:     reg,
@@ -139,6 +150,7 @@ func (e *Engine) Observe(s Snapshot) *Window {
 		return nil
 	}
 	w := Diff(e.prev, s, e.opts.Workers)
+	w.LimitStreams(e.opts.ScoreboardMax)
 	e.prev = s
 	e.windows = append(e.windows, w)
 	if over := len(e.windows) - e.opts.WindowCap; over > 0 {
@@ -264,6 +276,9 @@ func (s Status) WriteText(w io.Writer) {
 				sh.Holes, sh.Dups, sh.Reroutes, sh.Failovers)
 		}
 		fmt.Fprintln(w)
+	}
+	if s.Window != nil && s.Window.StreamsOmitted > 0 {
+		fmt.Fprintf(w, "  (+%d healthy streams past the scoreboard cap)\n", s.Window.StreamsOmitted)
 	}
 	if len(s.Regimes) > 0 {
 		fmt.Fprintln(w, "regimes:")

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
@@ -206,6 +207,83 @@ func TestStreamHealthScoreboard(t *testing.T) {
 	}
 	if s3.E2EP50Ms <= 0 {
 		t.Fatalf("e2e quantile missing: %+v", s3)
+	}
+}
+
+// TestScoreboardCapKeepsUnhealthyAndSlowest: LimitStreams must never
+// drop an unhealthy row, fill the remainder with the slowest healthy
+// streams, and account for what it dropped.
+func TestScoreboardCapKeepsUnhealthyAndSlowest(t *testing.T) {
+	w := Window{}
+	for i := 0; i < 20; i++ {
+		sh := StreamHealth{
+			Stream: fmt.Sprintf("%d", i),
+			Gbps:   float64(i), // stream 0 slowest, 19 fastest
+		}
+		if i == 17 {
+			sh.Holes = 3 // fast but unhealthy: must survive the cap
+		}
+		if i == 19 {
+			sh.Dups = 1
+		}
+		w.Streams = append(w.Streams, sh)
+	}
+	w.LimitStreams(5)
+	if w.StreamsTotal != 20 || w.StreamsOmitted != 15 {
+		t.Fatalf("total/omitted = %d/%d, want 20/15", w.StreamsTotal, w.StreamsOmitted)
+	}
+	if len(w.Streams) != 5 {
+		t.Fatalf("kept %d rows, want 5", len(w.Streams))
+	}
+	kept := map[string]bool{}
+	for _, sh := range w.Streams {
+		kept[sh.Stream] = true
+	}
+	for _, want := range []string{"17", "19", "0", "1", "2"} {
+		if !kept[want] {
+			t.Fatalf("stream %s missing from capped scoreboard %v", want, w.Streams)
+		}
+	}
+	// Rows come back in scoreboard order, not triage order.
+	for i := 1; i < len(w.Streams); i++ {
+		if !streamLabelLess(w.Streams[i-1].Stream, w.Streams[i].Stream) {
+			t.Fatalf("capped rows out of order: %v", w.Streams)
+		}
+	}
+
+	// Under the cap: totals recorded, nothing dropped.
+	small := Window{Streams: []StreamHealth{{Stream: "1"}, {Stream: "other"}}}
+	small.LimitStreams(5)
+	if small.StreamsTotal != 2 || small.StreamsOmitted != 0 || len(small.Streams) != 2 {
+		t.Fatalf("under-cap window mangled: %+v", small)
+	}
+}
+
+// TestEngineScoreboardMaxFlowsThroughObserve: the engine applies the
+// configured cap to every window it produces.
+func TestEngineScoreboardMaxFlowsThroughObserve(t *testing.T) {
+	e := NewEngine(nil, Options{ScoreboardMax: 2})
+	mk := func(t float64, scale int64) Snapshot {
+		m := map[string]MeterState{}
+		for i := 0; i < 6; i++ {
+			m[fmt.Sprintf("delivered_stream_%d", i)] = MeterState{Bytes: scale * int64(i+1), Items: scale}
+		}
+		return Snapshot{T: t, Meters: m}
+	}
+	e.Observe(mk(0, 0))
+	w := e.Observe(mk(1, 1000))
+	if w == nil {
+		t.Fatal("no window")
+	}
+	if len(w.Streams) != 2 || w.StreamsTotal != 6 || w.StreamsOmitted != 4 {
+		t.Fatalf("rows %d total %d omitted %d, want 2/6/4", len(w.Streams), w.StreamsTotal, w.StreamsOmitted)
+	}
+	// Unlimited: negative max records the total only.
+	e2 := NewEngine(nil, Options{ScoreboardMax: -1})
+	e2.Observe(mk(0, 0))
+	w2 := e2.Observe(mk(1, 1000))
+	if len(w2.Streams) != 6 || w2.StreamsTotal != 6 || w2.StreamsOmitted != 0 {
+		t.Fatalf("unlimited scoreboard capped: %d rows", len(w2.Streams))
 	}
 }
 

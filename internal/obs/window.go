@@ -88,19 +88,65 @@ type StreamHealth struct {
 
 // Window is the diff of two consecutive snapshots: every derived signal
 // over [T0, T1), plus the verdict naming the window's dominant
-// bottleneck and the evidence lines that produced it.
+// bottleneck and the evidence lines that produced it. StreamsTotal is
+// the scoreboard's full row count before any LimitStreams cap;
+// StreamsOmitted counts rows dropped by the cap (healthy, not-slowest
+// streams — never an unhealthy row).
 type Window struct {
-	T0       float64        `json:"t0"`
-	T1       float64        `json:"t1"`
-	Dur      float64        `json:"dur"`
-	Verdict  Verdict        `json:"verdict"`
-	Evidence []string       `json:"evidence,omitempty"`
-	Bytes    int64          `json:"bytes"` // bytes moved across all meters
-	Stages   []StageWindow  `json:"stages,omitempty"`
-	Queues   []QueueWindow  `json:"queues,omitempty"`
-	Pool     PoolWindow     `json:"pool,omitempty"`
-	Churn    ChurnWindow    `json:"churn,omitempty"`
-	Streams  []StreamHealth `json:"streams,omitempty"`
+	T0             float64        `json:"t0"`
+	T1             float64        `json:"t1"`
+	Dur            float64        `json:"dur"`
+	Verdict        Verdict        `json:"verdict"`
+	Evidence       []string       `json:"evidence,omitempty"`
+	Bytes          int64          `json:"bytes"` // bytes moved across all meters
+	Stages         []StageWindow  `json:"stages,omitempty"`
+	Queues         []QueueWindow  `json:"queues,omitempty"`
+	Pool           PoolWindow     `json:"pool,omitempty"`
+	Churn          ChurnWindow    `json:"churn,omitempty"`
+	Streams        []StreamHealth `json:"streams,omitempty"`
+	StreamsTotal   int            `json:"streams_total,omitempty"`
+	StreamsOmitted int            `json:"streams_omitted,omitempty"`
+}
+
+// LimitStreams caps the scoreboard at max rows, recording the full
+// count in StreamsTotal and the dropped count in StreamsOmitted. At a
+// thousand streams the full scoreboard is the status payload's bulk,
+// so the engine applies this per window; rows are kept by triage
+// priority — every unhealthy row (holes, dups, reroutes, failovers)
+// first, then the slowest healthy streams, which is where a fairness
+// problem would surface. max <= 0 only records StreamsTotal.
+func (w *Window) LimitStreams(max int) {
+	w.StreamsTotal = len(w.Streams)
+	if max <= 0 || len(w.Streams) <= max {
+		return
+	}
+	unhealthy := func(sh StreamHealth) bool {
+		return sh.Holes > 0 || sh.Dups > 0 || sh.Reroutes > 0 || sh.Failovers > 0
+	}
+	rows := append([]StreamHealth(nil), w.Streams...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		ui, uj := unhealthy(rows[i]), unhealthy(rows[j])
+		if ui != uj {
+			return ui
+		}
+		return rows[i].Gbps < rows[j].Gbps
+	})
+	kept := rows[:max]
+	sort.Slice(kept, func(i, j int) bool { return streamLabelLess(kept[i].Stream, kept[j].Stream) })
+	w.StreamsOmitted = w.StreamsTotal - max
+	w.Streams = kept
+}
+
+// streamLabelLess orders scoreboard labels: numeric ids ascending,
+// "other" last.
+func streamLabelLess(li, lj string) bool {
+	if (li == "other") != (lj == "other") {
+		return lj == "other"
+	}
+	if len(li) != len(lj) {
+		return len(li) < len(lj)
+	}
+	return li < lj
 }
 
 // stageNames is the pipeline order of the real-execution stages; the
@@ -316,16 +362,6 @@ func streamHealth(prev, cur Snapshot, dur float64) []StreamHealth {
 		sh.Failovers = cur.Counters["relay_failovers_stream_"+l]
 		out = append(out, sh)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		li, lj := out[i].Stream, out[j].Stream
-		// Numeric ids ascending, "other" last.
-		if (li == "other") != (lj == "other") {
-			return lj == "other"
-		}
-		if len(li) != len(lj) {
-			return len(li) < len(lj)
-		}
-		return li < lj
-	})
+	sort.Slice(out, func(i, j int) bool { return streamLabelLess(out[i].Stream, out[j].Stream) })
 	return out
 }

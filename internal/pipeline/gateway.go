@@ -1,0 +1,703 @@
+package pipeline
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"numastream/internal/lz4"
+	"numastream/internal/metrics"
+	"numastream/internal/msgq"
+	"numastream/internal/queue"
+	"numastream/internal/runtime"
+	"numastream/internal/trace"
+)
+
+// The sharded gateway receive path (ReceiverOptions.Shards != 0): the
+// thousand-stream scaling of the single pull fan-in. Three mechanisms
+// replace the shared inbox + global sink lock, each sized so one
+// misbehaving stream cannot touch the others:
+//
+//   - per-shard receive queues: a dispatch hook on the transport's read
+//     goroutines peeks each frame's 21-byte header and routes
+//     stream-hash → shard; receive workers drain the shards with a
+//     backlog-weighted round-robin cursor (msgq.ShardCursor), so a deep
+//     shard gets burst service but no shard starves;
+//   - admission control: at most MaxStreams distinct streams are ever
+//     admitted (first come wins, stickily); a stream past the limit is
+//     rejected at dispatch — counted (CtrStreamsRejected /
+//     CtrChunksRejected) and dropped before it can occupy a queue slot;
+//   - per-stream credit: each admitted stream holds at most StreamCredit
+//     chunks anywhere downstream of dispatch (shard ring, decompress
+//     queue, delivery lane). The gate blocks the stream's own read
+//     connection when credit runs out, which TCP turns into sender-side
+//     backpressure on that stream alone — a slow or quarantined consumer
+//     throttles only itself, never the shared shard queues.
+//
+// Delivery runs on per-stream lanes: one goroutine per admitted stream
+// owns its ledger admission, Sink call and sequence accounting, so the
+// legacy path's global sink mutex — a thousand-way contention point —
+// does not exist here, and a Sink that stalls parks exactly one lane.
+
+// Gateway counters and gauges recorded in ReceiverOptions.Metrics.
+const (
+	// CtrStreamsRejected counts distinct streams turned away by
+	// admission control (MaxStreams).
+	CtrStreamsRejected = "streams_rejected"
+	// CtrChunksRejected counts chunks dropped at dispatch because their
+	// stream was rejected.
+	CtrChunksRejected = "chunks_rejected"
+	// CtrCreditWaits counts dispatch-side credit acquisitions that had
+	// to block — per-stream backpressure events.
+	CtrCreditWaits = "credit_waits"
+	// GaugeStreamsAdmitted is the number of distinct streams admitted so
+	// far; GaugeCreditBlocked is how many streams are blocked on credit
+	// right now.
+	GaugeStreamsAdmitted = "streams_admitted"
+	GaugeCreditBlocked   = "credit_blocked_streams"
+)
+
+// ShardsAuto asks the receiver to align the shard count with the
+// host's NUMA topology: one shard per domain, minimum 2.
+const ShardsAuto = -1
+
+// DefaultStreamCredit is the per-stream in-flight chunk window of the
+// sharded gateway.
+const DefaultStreamCredit = 8
+
+// DefaultShardQueueCap is the per-shard ring depth.
+const DefaultShardQueueCap = 64
+
+// ShardHash maps a stream id onto one of n shards. splitmix-style
+// avalanche so adjacent stream ids spread instead of clustering.
+func ShardHash(stream uint32, n int) int {
+	x := uint64(stream) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// Admission is sticky first-come stream admission control: the first
+// MaxStreams distinct stream ids are admitted for good, every later id
+// is rejected for good (and counted). Sticky both ways, so a stream's
+// fate cannot flap with chunk arrival order. Safe for concurrent use;
+// shared between the live gateway and the netsim drill so both run the
+// same policy.
+type Admission struct {
+	mu       sync.Mutex
+	max      int
+	admitted map[uint32]struct{}
+	rejected map[uint32]struct{}
+
+	streamsRej *metrics.Counter
+	chunksRej  *metrics.Counter
+}
+
+// NewAdmission builds an admission gate over reg. max <= 0 means
+// unlimited (every stream admits; the counters still register).
+func NewAdmission(reg *metrics.Registry, max int) *Admission {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	a := &Admission{
+		max:        max,
+		admitted:   make(map[uint32]struct{}),
+		rejected:   make(map[uint32]struct{}),
+		streamsRej: reg.Counter(CtrStreamsRejected),
+		chunksRej:  reg.Counter(CtrChunksRejected),
+	}
+	reg.RegisterGauge(GaugeStreamsAdmitted, func() float64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return float64(len(a.admitted))
+	})
+	return a
+}
+
+// Admit reports whether the stream may enter, admitting it on first
+// sight while capacity lasts. A false return has already counted the
+// rejected chunk (and the stream itself, once).
+func (a *Admission) Admit(stream uint32) bool {
+	a.mu.Lock()
+	if _, ok := a.admitted[stream]; ok {
+		a.mu.Unlock()
+		return true
+	}
+	if _, ok := a.rejected[stream]; ok {
+		a.mu.Unlock()
+		a.chunksRej.Inc()
+		return false
+	}
+	if a.max <= 0 || len(a.admitted) < a.max {
+		a.admitted[stream] = struct{}{}
+		a.mu.Unlock()
+		return true
+	}
+	a.rejected[stream] = struct{}{}
+	a.mu.Unlock()
+	a.streamsRej.Inc()
+	a.chunksRej.Inc()
+	return false
+}
+
+// Admitted returns the number of distinct admitted streams.
+func (a *Admission) Admitted() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.admitted)
+}
+
+// Rejected returns the number of distinct rejected streams.
+func (a *Admission) Rejected() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.rejected)
+}
+
+// creditGate is the per-stream in-flight window. acquire blocks while
+// the stream's inflight count is at the credit limit — on the stream's
+// own transport read goroutine, which is what makes the backpressure
+// per-stream.
+type creditGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	credit   int
+	inflight map[uint32]int
+	blocked  int // streams currently waiting in acquire
+	closed   bool
+	waits    *metrics.Counter
+}
+
+func newCreditGate(reg *metrics.Registry, credit int) *creditGate {
+	g := &creditGate{
+		credit:   credit,
+		inflight: make(map[uint32]int),
+		waits:    reg.Counter(CtrCreditWaits),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	reg.RegisterGauge(GaugeCreditBlocked, func() float64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return float64(g.blocked)
+	})
+	return g
+}
+
+func (g *creditGate) acquire(stream uint32) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.inflight[stream] >= g.credit && !g.closed {
+		g.waits.Inc()
+		g.blocked++
+		for g.inflight[stream] >= g.credit && !g.closed {
+			g.cond.Wait()
+		}
+		g.blocked--
+	}
+	if g.closed {
+		return msgq.ErrClosed
+	}
+	g.inflight[stream]++
+	return nil
+}
+
+func (g *creditGate) release(stream uint32) {
+	g.mu.Lock()
+	if n := g.inflight[stream]; n > 1 {
+		g.inflight[stream] = n - 1
+	} else {
+		delete(g.inflight, stream)
+	}
+	// Waiters are keyed by stream but share one condition; Broadcast
+	// and let them recheck (waiters are rare — a stream out of credit).
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *creditGate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// laneSet owns the per-stream delivery lanes: a bounded queue plus one
+// consumer goroutine per admitted stream. Lane capacity equals the
+// stream's credit, so an enqueue past the gate can never block — at
+// most credit chunks of a stream exist downstream of dispatch.
+type laneSet struct {
+	mu     sync.Mutex
+	lanes  map[uint32]*queue.Queue[Chunk]
+	wg     sync.WaitGroup
+	cap    int
+	closed bool
+	run    func(stream uint32, q *queue.Queue[Chunk])
+}
+
+func newLaneSet(capacity int, run func(stream uint32, q *queue.Queue[Chunk])) *laneSet {
+	return &laneSet{lanes: make(map[uint32]*queue.Queue[Chunk]), cap: capacity, run: run}
+}
+
+// enqueue routes c to its stream's lane, creating lane and consumer on
+// first sight. Returns false once the set is closed (teardown).
+func (ls *laneSet) enqueue(c Chunk) bool {
+	ls.mu.Lock()
+	if ls.closed {
+		ls.mu.Unlock()
+		return false
+	}
+	q, ok := ls.lanes[c.Stream]
+	if !ok {
+		q = queue.New[Chunk](ls.cap)
+		ls.lanes[c.Stream] = q
+		ls.wg.Add(1)
+		go func(stream uint32, q *queue.Queue[Chunk]) {
+			defer ls.wg.Done()
+			ls.run(stream, q)
+		}(c.Stream, q)
+	}
+	ls.mu.Unlock()
+	// Outside the set lock: a Put can briefly block only if the caller
+	// overran the stream's credit, which the gate prevents.
+	return q.Put(c) == nil
+}
+
+// closeAll closes every lane and waits for the consumers to drain.
+func (ls *laneSet) closeAll() {
+	ls.mu.Lock()
+	ls.closed = true
+	for _, q := range ls.lanes {
+		q.Close()
+	}
+	ls.mu.Unlock()
+	ls.wg.Wait()
+}
+
+// streams returns how many lanes exist.
+func (ls *laneSet) streams() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return len(ls.lanes)
+}
+
+// resolveShards turns the option value into a concrete shard count.
+func resolveShards(opts ReceiverOptions) int {
+	if opts.Shards > 0 {
+		return opts.Shards
+	}
+	// ShardsAuto: NUMA-domain-aligned, minimum 2 so single-domain test
+	// hosts still exercise the multi-shard path.
+	n := len(opts.Topo.Nodes)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// runShardedReceiver is RunReceiver's sharded twin: same contract, same
+// options, plus the shard/admission/credit mechanisms above. Kept as a
+// separate implementation so the legacy single-inbox path stays
+// byte-for-byte untouched for existing deployments.
+func runShardedReceiver(opts ReceiverOptions) error {
+	if err := opts.Cfg.Validate(len(opts.Topo.Nodes)); err != nil {
+		return err
+	}
+	if opts.Cfg.Role != runtime.Receiver {
+		return fmt.Errorf("pipeline: RunReceiver with role %q", opts.Cfg.Role)
+	}
+	if opts.Expect <= 0 && opts.Stop == nil {
+		return fmt.Errorf("pipeline: receiver needs a positive Expect count or a Stop channel")
+	}
+	if opts.QueueCap <= 0 {
+		opts.QueueCap = 16
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	shards := resolveShards(opts)
+	credit := opts.StreamCredit
+	if credit <= 0 {
+		credit = DefaultStreamCredit
+	}
+	shardCap := opts.ShardQueueCap
+	if shardCap <= 0 {
+		shardCap = DefaultShardQueueCap
+	}
+	pool := effectivePool(opts.BufPool, opts.DisableBufPool)
+	pool.Register(opts.Metrics)
+
+	nRecv := opts.Cfg.Count(runtime.Receive)
+	if nRecv < 1 {
+		return fmt.Errorf("pipeline: receiver config has no receive threads")
+	}
+	decGroup, hasDec := opts.Cfg.Group(runtime.Decompress)
+	recvGroup, _ := opts.Cfg.Group(runtime.Receive)
+	recvPin, err := pinFor(opts.Topo, recvGroup.Placement)
+	if err != nil {
+		return err
+	}
+
+	var pull *msgq.Pull
+	if opts.Listener != nil {
+		pull = msgq.NewPullFromListener(opts.Listener)
+	} else {
+		pull, err = msgq.NewPull(opts.Bind)
+		if err != nil {
+			return err
+		}
+	}
+	defer pull.Close()
+	pull.SetLabel(opts.Cfg.Node)
+	pull.SetCounters(opts.Metrics)
+	if pool != nil {
+		pull.SetBufferPool(pool, recvPin.DomainFor(0))
+	}
+
+	adm := NewAdmission(opts.Metrics, opts.MaxStreams)
+	gate := newCreditGate(opts.Metrics, credit)
+	// Dispatch runs on each connection's read goroutine: peek the
+	// header, admit, take credit, route by stream hash. A frame that
+	// cannot carry a header (wrong shape) passes through uncredited and
+	// is quarantined by a receive worker — the credited predicate here
+	// and in the worker must match exactly: len(Msg) == 2 and a
+	// decodable header.
+	pull.SetDispatch(shards, shardCap, func(d *msgq.Delivery) (int, bool) {
+		if len(d.Msg) != 2 {
+			return 0, true
+		}
+		c, _, err := decodeHeader(d.Msg[0])
+		if err != nil {
+			return 0, true
+		}
+		if !adm.Admit(c.Stream) {
+			return 0, false
+		}
+		if gate.acquire(c.Stream) != nil {
+			return 0, false // tearing down
+		}
+		return ShardHash(c.Stream, shards), true
+	})
+	for i := 0; i < shards; i++ {
+		i := i
+		opts.Metrics.RegisterGauge(fmt.Sprintf("shard_%d_depth", i),
+			func() float64 { return float64(pull.ShardDepth(i)) })
+	}
+	if opts.Ready != nil {
+		opts.Ready <- pull.Addr().String()
+	}
+
+	tracer := newOpTracer(opts.Tracer, opts.Cfg.Node)
+	journeys := newJourneyRecorder(opts.Metrics, tracer)
+	var decQ *queue.Queue[Chunk]
+	if hasDec && decGroup.Count > 0 {
+		decQ = queue.New[Chunk](opts.QueueCap)
+		watchQueue(opts.Metrics, "decq", decQ)
+	}
+
+	quarantinedCtr := opts.Metrics.Counter(CtrQuarantined)
+	gapCtr := opts.Metrics.Counter(CtrSeqGaps)
+	lateCtr := opts.Metrics.Counter(CtrSeqLate)
+	ledger := opts.Ledger
+	if ledger == nil && opts.ExactlyOnce {
+		ledger = NewLedger(opts.Metrics, 0)
+	}
+
+	// Accounting: atomics, not a shared mutex — delivery is distributed
+	// across per-stream lanes and a thousand of them must not serialize.
+	var delivered, quarantined atomic.Int64
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	markDone := func() { doneOnce.Do(func() { close(done) }) }
+	accounted := func() int64 { return delivered.Load() + quarantined.Load() }
+	var laneErrOnce sync.Once
+	var laneErr error
+
+	failStop := func(err error) error {
+		if err != nil {
+			markDone()
+			if decQ != nil {
+				decQ.Close()
+			}
+		}
+		return err
+	}
+	// quarantine disposes of an undeliverable chunk; credited says
+	// whether dispatch charged the stream's credit for it (decodable
+	// header), which must be given back on every disposal path.
+	quarantine := func(cause error, credited bool, stream uint32) error {
+		if credited {
+			gate.release(stream)
+		}
+		if opts.FailHard {
+			return failStop(cause)
+		}
+		quarantinedCtr.Inc()
+		bad := quarantined.Add(1)
+		if opts.MaxBadChunks > 0 && bad > int64(opts.MaxBadChunks) {
+			return failStop(fmt.Errorf("pipeline: %d chunks quarantined exceeds MaxBadChunks %d; last cause: %w",
+				bad, opts.MaxBadChunks, cause))
+		}
+		if opts.Expect > 0 && accounted() >= int64(opts.Expect) {
+			markDone()
+		}
+		return nil
+	}
+
+	// The per-stream delivery lane: ledger admission, Sink, sequence and
+	// throughput accounting, credit release — all single-threaded per
+	// stream, so none of it needs the legacy path's global sink lock.
+	lanes := newLaneSet(credit, func(stream uint32, q *queue.Queue[Chunk]) {
+		meter := opts.Metrics.StreamMeter("delivered", stream)
+		var next uint64
+		tracked := false
+		aborted := false
+		for {
+			c, err := q.Get()
+			if err != nil {
+				return // lane closed and drained
+			}
+			dispose := func() {
+				c.lease.Release()
+				c.frame.Release()
+				gate.release(stream)
+			}
+			if aborted {
+				dispose()
+				continue
+			}
+			if opts.Expect > 0 && accounted() >= int64(opts.Expect) {
+				dispose()
+				continue
+			}
+			if ledger != nil && !ledger.Admit(c.Stream, c.Seq) {
+				dispose() // duplicate: counted by the ledger, dropped
+				continue
+			}
+			if opts.Sink != nil {
+				if err := opts.Sink(c); err != nil {
+					laneErrOnce.Do(func() { laneErr = err })
+					failStop(err)
+					aborted = true // keep draining to hand credits back
+					dispose()
+					continue
+				}
+			}
+			delivered.Add(1)
+			meter.Add(len(c.Data))
+			switch {
+			case !tracked && c.Seq == 0, tracked && c.Seq == next:
+				next, tracked = c.Seq+1, true
+			case !tracked || c.Seq > next:
+				if tracked {
+					gapCtr.Add(int64(c.Seq - next))
+				} else {
+					gapCtr.Add(int64(c.Seq))
+				}
+				next, tracked = c.Seq+1, true
+			default:
+				lateCtr.Inc()
+			}
+			if opts.Expect > 0 && accounted() >= int64(opts.Expect) {
+				markDone()
+			}
+			journeys.finish(c.journey, trace.NowNanos())
+			dispose()
+		}
+	})
+
+	if opts.Stop != nil {
+		go func() {
+			<-opts.Stop
+			markDone()
+		}()
+	}
+
+	// toLane hands a decoded, verified chunk to its delivery lane. The
+	// set only refuses after closeAll, which runs after every producer
+	// pool has exited — treat a refusal as a drop with full cleanup so
+	// nothing leaks even if that ordering ever changes.
+	toLane := func(c Chunk) {
+		if !lanes.enqueue(c) {
+			c.lease.Release()
+			c.frame.Release()
+			gate.release(c.Stream)
+		}
+	}
+
+	var pools []*Pool
+	{
+		obs := newStageObserver(opts.Metrics, tracer, "receive")
+		var closeOnce sync.Once
+		var live sync.WaitGroup
+		live.Add(nRecv)
+		pools = append(pools, Start("receive", nRecv, recvPin, func(worker int) error {
+			defer func() {
+				live.Done()
+				if decQ != nil {
+					closeOnce.Do(func() {
+						go func() {
+							live.Wait()
+							decQ.Close()
+						}()
+					})
+				}
+			}()
+			cur := msgq.NewShardCursor(worker)
+			for {
+				d, err := pull.RecvSharded(cur)
+				if err == msgq.ErrClosed {
+					return nil
+				}
+				if err != nil {
+					return failStop(err)
+				}
+				msg := d.Msg
+				t0 := time.Now()
+				if len(msg) != 2 {
+					d.Frame.Release()
+					if err := quarantine(fmt.Errorf("pipeline: message with %d parts", len(msg)), false, 0); err != nil {
+						return err
+					}
+					continue
+				}
+				c, wantCRC, err := decodeHeader(msg[0])
+				if err != nil {
+					d.Frame.Release()
+					if err := quarantine(err, false, 0); err != nil {
+						return err
+					}
+					continue
+				}
+				if sum := crc32.Checksum(msg[1], crcTable); sum != wantCRC {
+					d.Frame.Release()
+					if err := quarantine(fmt.Errorf("pipeline: chunk %d payload CRC %08x, want %08x", c.Seq, sum, wantCRC), true, c.Stream); err != nil {
+						return err
+					}
+					continue
+				}
+				c.Data = msg[1]
+				c.frame = d.Frame
+				c.Peer = d.Peer
+				if len(d.Aux) > 0 {
+					if wc, err := decodeWireCtx(d.Aux); err != nil || wc.Seq != c.Seq || wc.Stream != c.Stream {
+						journeys.badCtx.Inc()
+					} else {
+						c.journey = &chunkJourney{
+							ctx:         wc,
+							recvNanos:   d.RecvNanos,
+							offset:      d.ClockOffset,
+							offsetValid: d.OffsetValid,
+							peer:        d.Peer,
+						}
+					}
+				}
+				if c.journey != nil {
+					obs.doneFlow(worker, t0, len(c.Data), c.Seq, flowID(c.Stream, c.Seq))
+				} else {
+					obs.done(worker, t0, len(c.Data), c.Seq)
+				}
+				if decQ != nil {
+					c.enqAt = time.Now()
+					if err := decQ.Put(c); err != nil {
+						c.frame.Release()
+						gate.release(c.Stream)
+						return nil
+					}
+					continue
+				}
+				toLane(c)
+			}
+		}))
+	}
+
+	if decQ != nil {
+		pin, err := pinFor(opts.Topo, decGroup.Placement)
+		if err != nil {
+			return err
+		}
+		obs := newStageObserver(opts.Metrics, tracer, "decompress")
+		pools = append(pools, Start("decompress", decGroup.Count, pin, func(worker int) error {
+			dom := pin.DomainFor(worker)
+			for {
+				c, err := decQ.Get()
+				if err == queue.ErrClosed {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				obs.dequeued(c, worker)
+				t0 := time.Now()
+				if c.Packed {
+					var raw []byte
+					if pool != nil {
+						lease := pool.Get(dom, c.RawLen)
+						n, derr := lz4.DecompressBlock(c.Data, lease.Bytes())
+						if derr == nil && n != c.RawLen {
+							derr = fmt.Errorf("lz4: decompressed %d bytes, want %d", n, c.RawLen)
+						}
+						if derr != nil {
+							lease.Release()
+							c.frame.Release()
+							if err := quarantine(fmt.Errorf("decompressing chunk %d: %w", c.Seq, derr), true, c.Stream); err != nil {
+								return err
+							}
+							continue
+						}
+						c.lease = lease
+						raw = lease.Bytes()
+					} else {
+						var derr error
+						raw, derr = lz4.Decompress(c.Data, c.RawLen)
+						if derr != nil {
+							c.frame.Release()
+							if err := quarantine(fmt.Errorf("decompressing chunk %d: %w", c.Seq, derr), true, c.Stream); err != nil {
+								return err
+							}
+							continue
+						}
+					}
+					c.frame.Release()
+					c.frame = nil
+					c.Data = raw
+					c.Packed = false
+				}
+				obs.done(worker, t0, c.RawLen, c.Seq)
+				toLane(c)
+			}
+		}))
+	}
+
+	// Teardown: the gate unblocks first (dispatchers parked on credit
+	// must fail out before the transport can drain its read loops), then
+	// the transport; lanes close only after every producer has exited.
+	go func() {
+		<-done
+		gate.close()
+		pull.Close()
+	}()
+
+	var firstErr error
+	for _, p := range pools {
+		if err := p.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	lanes.closeAll()
+	if firstErr == nil {
+		firstErr = laneErr
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if opts.Expect > 0 && accounted() < int64(opts.Expect) {
+		return fmt.Errorf("pipeline: accounted for %d of %d expected chunks (%d delivered, %d quarantined)",
+			accounted(), opts.Expect, delivered.Load(), quarantined.Load())
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"numastream/internal/metrics"
+)
+
+// TestLedgerThousandStreamsMemoryBound drives 1,000 streams far past
+// the dedup window and asserts the ledger's footprint stays O(window)
+// per stream — the ring bitset retires slots as the base advances, so
+// long-running streams must not grow accounting state with sequence
+// count.
+func TestLedgerThousandStreamsMemoryBound(t *testing.T) {
+	const (
+		streams = 1000
+		window  = 1024
+		seqs    = 2048 // 2x the window: every stream wraps the ring
+	)
+	reg := metrics.NewRegistry()
+	// Cap the per-stream counter cardinality the way the gateway does;
+	// the ledger itself must stay bounded regardless.
+	reg.SetStreamCap(64)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	l := NewLedger(reg, window)
+	for id := uint32(0); id < streams; id++ {
+		for seq := uint64(0); seq < seqs; seq++ {
+			if !l.Admit(id, seq) {
+				t.Fatalf("stream %d seq %d rejected on first arrival", id, seq)
+			}
+		}
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	if l.Delivered() != streams*seqs {
+		t.Fatalf("delivered %d, want %d", l.Delivered(), streams*seqs)
+	}
+	if h := l.TotalHoles(); h != 0 {
+		t.Fatalf("holes = %d, want 0", h)
+	}
+	if a := l.Abandoned(); a != 0 {
+		t.Fatalf("abandoned = %d, want 0", a)
+	}
+	// Budget: window/8 bytes of bitset per stream (128KB total here)
+	// plus per-stream struct, map, and counter overhead. 16MB is ~100x
+	// the expected footprint — it only trips if state scales with seqs
+	// delivered instead of the window.
+	grew := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	const budget = 16 << 20
+	if grew > budget {
+		t.Fatalf("ledger grew heap by %d bytes for %d streams (budget %d): state is not O(window)",
+			grew, streams, budget)
+	}
+}
+
+// TestLedgerLaggingStreamAbandonIsIsolated: one stream with an
+// outstanding hole overflows its window; only that stream pays with
+// ledger_abandoned, and the healthy streams' exactly-once accounting
+// is untouched.
+func TestLedgerLaggingStreamAbandonIsIsolated(t *testing.T) {
+	const (
+		healthy = 8
+		window  = 64
+		lagging = uint32(99)
+	)
+	reg := metrics.NewRegistry()
+	l := NewLedger(reg, window)
+
+	for id := uint32(0); id < healthy; id++ {
+		for seq := uint64(0); seq < 32; seq++ {
+			l.Admit(id, seq)
+		}
+	}
+	// The lagging stream leaves holes at seqs 1 and 3, then its sender
+	// jumps far past the window, forcing the base over both.
+	l.Admit(lagging, 0)
+	l.Admit(lagging, 2)
+	l.Admit(lagging, 4)
+	l.Admit(lagging, 5000)
+
+	if v := reg.CounterValue(CtrAbandoned); v != 2 {
+		t.Fatalf("ledger_abandoned = %d, want 2 (holes at seq 1 and 3)", v)
+	}
+	if v := l.Abandoned(); v != 2 {
+		t.Fatalf("Abandoned() = %d, want 2", v)
+	}
+	for id := uint32(0); id < healthy; id++ {
+		if d := l.DeliveredStream(id); d != 32 {
+			t.Fatalf("healthy stream %d delivered %d, want 32", id, d)
+		}
+		if h := l.Holes(id); len(h) != 0 {
+			t.Fatalf("healthy stream %d grew holes %v from another stream's overflow", id, h)
+		}
+	}
+	// The lagging stream's surviving accounting still works: new seqs
+	// inside the forced window admit once and dedup.
+	if !l.Admit(lagging, 5001) {
+		t.Fatal("lagging stream rejected a fresh in-window seq")
+	}
+	if l.Admit(lagging, 5001) {
+		t.Fatal("lagging stream admitted a duplicate after overflow")
+	}
+}
+
+// TestLedgerDupDropShardParallel delivers every (stream, seq) pair
+// exactly twice from concurrent workers — the shard-parallel shape the
+// sharded gateway produces when a retry lands on a different shard's
+// worker than the original. Exactly one of each pair's two arrivals
+// must admit, regardless of interleaving.
+func TestLedgerDupDropShardParallel(t *testing.T) {
+	const (
+		streams = 64
+		seqs    = 256
+		workers = 8
+		unique  = streams * seqs
+	)
+	reg := metrics.NewRegistry()
+	reg.SetStreamCap(16)
+	l := NewLedger(reg, 0)
+
+	type pair struct {
+		stream uint32
+		seq    uint64
+	}
+	arrivals := make([]pair, 0, 2*unique)
+	for id := uint32(0); id < streams; id++ {
+		for seq := uint64(0); seq < seqs; seq++ {
+			arrivals = append(arrivals, pair{id, seq}, pair{id, seq})
+		}
+	}
+	rng := rand.New(rand.NewSource(8))
+	rng.Shuffle(len(arrivals), func(i, j int) { arrivals[i], arrivals[j] = arrivals[j], arrivals[i] })
+
+	var wg sync.WaitGroup
+	per := len(arrivals) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if w == workers-1 {
+			hi = len(arrivals)
+		}
+		wg.Add(1)
+		go func(batch []pair) {
+			defer wg.Done()
+			for _, p := range batch {
+				l.Admit(p.stream, p.seq)
+			}
+		}(arrivals[lo:hi])
+	}
+	wg.Wait()
+
+	if l.Delivered() != unique {
+		t.Fatalf("delivered %d, want %d", l.Delivered(), unique)
+	}
+	if l.Dups() != unique {
+		t.Fatalf("dups = %d, want %d", l.Dups(), unique)
+	}
+	if v := reg.CounterValue(CtrDupDrops); v != unique {
+		t.Fatalf("dup_drops counter = %d, want %d", v, unique)
+	}
+	if h := l.TotalHoles(); h != 0 {
+		t.Fatalf("holes = %d, want 0", h)
+	}
+	for id := uint32(0); id < streams; id++ {
+		if d := l.DeliveredStream(id); d != seqs {
+			t.Fatalf("stream %d delivered %d, want %d", id, d, seqs)
+		}
+	}
+	// Per-stream dup counters: tracked streams get their own series,
+	// the rest fold into "_stream_other" — the sum must equal the
+	// total either way.
+	var sum int64
+	for id := uint32(0); id < streams; id++ {
+		sum += reg.CounterValue(fmt.Sprintf("dup_drops_stream_%d", id))
+	}
+	sum += reg.CounterValue("dup_drops_stream_other")
+	if sum != unique {
+		t.Fatalf("per-stream dup counters sum to %d, want %d", sum, unique)
+	}
+}

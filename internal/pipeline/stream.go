@@ -657,6 +657,27 @@ type ReceiverOptions struct {
 	// hatch); chunk buffers are then GC-owned and a Sink may retain
 	// Data freely, as before PR 5.
 	DisableBufPool bool
+
+	// Shards switches the receiver to the sharded gateway path (see
+	// gateway.go): per-shard receive queues keyed by stream hash,
+	// admission control and per-stream credit backpressure, with
+	// delivery on per-stream lanes. 0 keeps the legacy single fan-in
+	// exactly as before; > 0 is an explicit shard count; ShardsAuto
+	// aligns it with the host's NUMA domains.
+	Shards int
+	// ShardQueueCap is the per-shard ring depth (sharded path only;
+	// default DefaultShardQueueCap).
+	ShardQueueCap int
+	// MaxStreams is the admission limit: at most this many distinct
+	// streams are ever admitted; later streams are rejected at dispatch
+	// and counted (CtrStreamsRejected, CtrChunksRejected). 0 means
+	// unlimited. Sharded path only.
+	MaxStreams int
+	// StreamCredit is each stream's in-flight chunk window past
+	// dispatch (default DefaultStreamCredit). A stream at its limit
+	// blocks only its own connection — per-stream backpressure.
+	// Sharded path only.
+	StreamCredit int
 }
 
 // Receiver-side failure counters recorded in ReceiverOptions.Metrics.
@@ -682,6 +703,9 @@ const (
 // RunReceiver accepts chunks until Expect have been delivered, then
 // returns.
 func RunReceiver(opts ReceiverOptions) error {
+	if opts.Shards != 0 {
+		return runShardedReceiver(opts)
+	}
 	if err := opts.Cfg.Validate(len(opts.Topo.Nodes)); err != nil {
 		return err
 	}
