@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench churn-drill report-drill stream-drill
+.PHONY: build test vet race check bench churn-drill report-drill stream-drill fleet-drill
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,11 @@ vet:
 # (reconnect, send horizons, quarantine accounting, queues), the buffer
 # pool (lease aliasing, cross-domain steals), the telemetry layer
 # (histograms, sampler, live endpoint), and the tracing layer
-# (concurrent Add/WriteJSON, chunk framing), and the snapshot-diff
-# observer (scrape-while-streaming).
+# (concurrent Add/WriteJSON, chunk framing), the snapshot-diff
+# observer (scrape-while-streaming), and the fleet aggregator
+# (Start/Stop ticker, concurrent Status/Alerts reads, HTTP scraping).
 race:
-	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/metrics/... ./internal/msgq/... ./internal/obs/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
+	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/fleet/... ./internal/metrics/... ./internal/msgq/... ./internal/obs/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
 	$(GO) test -race -run 'TestChurn|TestMultiHop|TestThousand' ./internal/cluster/... ./internal/experiments/...
 
 # Churn drill: the seeded netsim churn storm (multi-hop topology events,
@@ -57,9 +58,21 @@ stream-drill:
 	cmp stream-drill-a.json stream-drill-b.json
 	@echo "stream-drill: 256-stream loopback soak + byte-identical 1000-stream sim"
 
+# Fleet drill: the cluster control tower. The multi-hop sim throttles
+# the relay1-gateway uplink to 5% and the cluster verdict must name
+# that hop (node + link) as dominant, with the fair-share SLO alert
+# firing exactly once, resolving after the throttle lifts, and an
+# alert-triggered pprof pair landing in fleet-profiles/. Then the
+# churn storm must fire and resolve the hop-availability alert. The
+# drill contract is asserted by Check() inside the binary.
+fleet-drill:
+	$(GO) run ./cmd/experiments -fig none -fleet -profile-dir fleet-profiles
+	@ls fleet-profiles/*.pprof >/dev/null 2>&1 || { echo "fleet-drill: no profile artifacts captured"; exit 1; }
+	@echo "fleet-drill: cluster verdicts checked, alert-triggered profiles captured"
+
 # The single CI entry point: build, vet, tests, race pass, churn drill,
-# report drill, stream drill.
-check: build vet test race churn-drill report-drill stream-drill
+# report drill, stream drill, fleet drill.
+check: build vet test race churn-drill report-drill stream-drill fleet-drill
 
 # Human-readable benchmark run over the root suite (the paper figures,
 # the loopback pipeline, queues, LZ4).
@@ -83,7 +96,7 @@ bench-json:
 # speed (its fixed, allocation-free work measures the machine, so the
 # committed baseline from a faster box still gates a slower one).
 # BENCH_BASE selects the baseline (the newest committed BENCH_PR*.json).
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR8.json
 GATED_BENCHMARKS = BenchmarkLoopbackPipeline BenchmarkQueueThroughput
 bench-gate:
 	$(GO) test -run '^$$' -bench '^(BenchmarkLoopbackPipeline|BenchmarkQueueThroughput)$$' -count=6 -benchmem -json > bench-gate.json

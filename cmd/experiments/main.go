@@ -45,6 +45,8 @@ func main() {
 	degradedReal := flag.Bool("degraded-real", false, "run the real-mode fault injection loopback (robustness)")
 	churn := flag.Bool("churn", false, "run the churn-storm simulation: a seeded topology schedule crashes senders and relays on a multi-hop deployment (robustness)")
 	churnReal := flag.Bool("churn-real", false, "run the real-mode churn drill: relay forwarders killed and restarted mid-stream, exactly-once ledger on the gateway (robustness)")
+	fleetDrill := flag.Bool("fleet", false, "run the fleet control-tower drills: throttled-uplink attribution and churn availability alert, each checked against the drill contract (observability)")
+	profileDir := flag.String("profile-dir", "", "directory for regime/alert-triggered pprof captures during -fleet (default: none captured)")
 	churnSeed := flag.Int64("churn-seed", 11, "churn storm RNG seed (-churn)")
 	churnFile := flag.String("churn-file", "", "topology event file replacing the generated storm: '<t> <NODEUP|NODEDOWN|LINKUP|LINKDOWN> <name>' lines, OLSR '<t> <UP|DOWN> <from> <to>' also accepted")
 	traceWire := flag.String("trace-wire", "", "run the wire-journey loopback (real pipeline, WireTrace on) and write the merged cross-process Chrome trace to this file")
@@ -264,6 +266,31 @@ func main() {
 				fail(err)
 			}
 			fmt.Println(experiments.FormatChurnReal(res))
+		}
+	}
+	if *fleetDrill {
+		for _, run := range []struct {
+			name string
+			fn   func(string) (experiments.FleetSimResult, error)
+		}{
+			{"throttled-uplink", experiments.FleetThrottledUplinkSim},
+			{"churn-alert", experiments.FleetChurnAlertSim},
+		} {
+			res, err := run.fn(*profileDir)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Println(experiments.FormatFleetSim(res))
+			if err := res.Check(); err != nil {
+				fail(fmt.Errorf("fleet drill %s: %w", run.name, err))
+			}
+			fired, resolved := 0, 0
+			for _, a := range res.Alerts {
+				fired += a.Fired
+				resolved += a.Resolved
+			}
+			fmt.Printf("fleet drill %s: PASS — dominant %s@%s:%s, alerts fired/resolved %d/%d\n",
+				run.name, res.Report.Dominant, res.Report.DominantNode, res.Report.DominantStage, fired, resolved)
 		}
 	}
 	if *traceWire != "" {

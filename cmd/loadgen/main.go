@@ -7,6 +7,8 @@
 //	loadgen --streams 1000 --seed 42                 # sim: byte-identical per seed
 //	loadgen --mode loopback --streams 256 --assert   # real sockets, fairness-checked
 //	loadgen --streams 100 --fault-plan 'reset@w10, stall@1MB:50ms, seed=7'
+//	loadgen --mode loopback --streams 256 --telemetry-addr :9200 \
+//	    --slo 'fair_share>=0.5,holes<=0' --cluster-report soak-cluster.md
 //
 // The sim renders the same bytes for the same flags on any machine:
 // no wall clock is read, so --json output can be diffed across runs
@@ -23,6 +25,10 @@ import (
 
 	"numastream/internal/experiments"
 	"numastream/internal/faults"
+	"numastream/internal/fleet"
+	"numastream/internal/metrics"
+	"numastream/internal/obs"
+	"numastream/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +48,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write the machine-readable report to this file ('-' = stdout, replacing the table)")
 	assertRun := flag.Bool("assert", false, "exit nonzero unless every ledger closed and -min-share held")
 	minShare := flag.Float64("min-share", 0.5, "fairness floor for -assert: slowest stream >= this share of fair per-stream throughput")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live /metrics, /status, /cluster and /alerts on this address while a loopback soak runs (loopback mode only)")
+	statusInterval := flag.Duration("status-interval", 500*time.Millisecond, "obs snapshot interval for -telemetry-addr; drives how fresh /status and /cluster stay during the soak")
+	sloSpec := flag.String("slo", "", "SLO clauses for -telemetry-addr, e.g. 'e2e_p99_ms<=250,fair_share>=0.5,holes<=0'")
+	clusterReport := flag.String("cluster-report", "", "write the end-of-soak cluster report to this file (markdown when it ends in .md, JSON otherwise)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -75,6 +85,46 @@ func main() {
 		cfg.Plan = plan
 	}
 
+	// Live telemetry rides the loopback soak: the drill records into a
+	// shared registry, an obs engine snapshots it on a wall-clock
+	// cadence, and a single-node fleet aggregator layers SLO alerts on
+	// top — so /status, /cluster and /alerts answer live mid-soak. The
+	// sim runs in virtual time with nothing live to scrape, so these
+	// flags are loopback-only.
+	liveTelemetry := *telemetryAddr != "" || *sloSpec != "" || *clusterReport != ""
+	var (
+		obsEng *obs.Engine
+		agg    *fleet.Aggregator
+	)
+	if liveTelemetry {
+		if *mode != "loopback" {
+			fail(fmt.Errorf("-telemetry-addr/-slo/-cluster-report need -mode loopback (the sim runs in virtual time)"))
+		}
+		var slos []fleet.SLO
+		if *sloSpec != "" {
+			parsed, err := fleet.ParseSLOs(*sloSpec)
+			if err != nil {
+				fail(err)
+			}
+			slos = parsed
+		}
+		reg := metrics.NewRegistry()
+		cfg.Registry = reg
+		obsEng = obs.NewEngine(reg, obs.Options{Node: "thousand-gw", Interval: *statusInterval})
+		obsEng.Start()
+		agg = fleet.New(fleet.Options{Fleet: "loadgen", Interval: *statusInterval, SLOs: slos})
+		agg.AddSource(fleet.EngineSource("thousand-gw", fleet.RoleGateway, obsEng))
+		agg.Start()
+		if *telemetryAddr != "" {
+			srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Obs: obsEng, Fleet: agg})
+			if err != nil {
+				fail(err)
+			}
+			defer srv.Close()
+			fmt.Printf("loadgen: telemetry on http://%s (/metrics, /status, /cluster, /alerts)\n", srv.Addr())
+		}
+	}
+
 	var (
 		res experiments.ThousandStreamResult
 		err error
@@ -89,6 +139,25 @@ func main() {
 	}
 	if err != nil {
 		fail(err)
+	}
+
+	if liveTelemetry {
+		obsEng.Stop()
+		agg.Stop()
+		for tick := 0; tick < 2 && len(agg.Windows()) == 0; tick++ {
+			// A short soak can finish inside one interval; the first
+			// tick seeds the aggregator, the second builds a window,
+			// so the report always has something to say.
+			obsEng.Tick()
+			agg.Tick()
+		}
+		if *clusterReport != "" {
+			rep := agg.Report()
+			if err := fleet.WriteReportFile(*clusterReport, rep); err != nil {
+				fail(err)
+			}
+			fmt.Printf("loadgen: cluster report written to %s (dominant: %s)\n", *clusterReport, rep.Dominant)
+		}
 	}
 
 	if *jsonPath != "-" {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"numastream/internal/faults"
+	"numastream/internal/fleet"
 	"numastream/internal/metrics"
 	"numastream/internal/numa"
 	"numastream/internal/obs"
@@ -51,6 +52,13 @@ func main() {
 		sampleEvery   = flag.Duration("sample-interval", 250*time.Millisecond, "timeline sampling interval")
 		reportPath    = flag.String("report", "", "write an end-of-run self-diagnosis report here at exit (markdown when the path ends in .md, JSON otherwise)")
 		reportEvery   = flag.Duration("report-interval", 500*time.Millisecond, "snapshot-diff window width for /status and -report")
+
+		// Fleet control tower (cluster-wide aggregation).
+		fleetSpec     = flag.String("fleet", "", "aggregate a fleet: comma-separated node=role=addr peers to scrape over HTTP (role: sender|relay|gateway), e.g. 'updraft1=sender=host:9100,gw=gateway=host:9101'; this node's own engine joins automatically; serves /cluster and /alerts on -telemetry-addr")
+		sloSpec       = flag.String("slo", "", "cluster SLOs evaluated per fleet window, e.g. 'e2e_p99_ms<=250,fair_share>=0.5,holes<=0'; alert states land on /alerts and in -cluster-report")
+		fleetEvery    = flag.Duration("fleet-interval", time.Second, "fleet aggregation tick interval")
+		clusterReport = flag.String("cluster-report", "", "write an end-of-run cluster report here at exit (markdown when the path ends in .md, JSON otherwise); implies fleet aggregation even with no -fleet peers")
+		profileDir    = flag.String("profile-dir", "", "capture rate-limited pprof CPU+heap artifacts into this directory when a cluster SLO alert fires or the fleet verdict enters a degraded regime")
 
 		// Robustness (sender).
 		sendHorizon  = flag.Duration("send-horizon", 0, "sender: fail sends after all peers stay dead this long (0 = wait forever)")
@@ -109,9 +117,11 @@ func main() {
 		tracer = trace.New(1 << 20)
 	}
 	// The self-diagnosis engine rides along whenever something surfaces
-	// it: the /status endpoint, or the -report artifact.
+	// it: the /status endpoint, the -report artifact, or the fleet
+	// aggregator (which folds this node's own diagnosis in).
+	fleetActive := *fleetSpec != "" || *sloSpec != "" || *clusterReport != ""
 	var obsEng *obs.Engine
-	if *telemetryAddr != "" || *reportPath != "" {
+	if *telemetryAddr != "" || *reportPath != "" || fleetActive {
 		obsEng = obs.NewEngine(reg, obs.Options{
 			Interval: *reportEvery,
 			Node:     cfg.Node,
@@ -119,8 +129,29 @@ func main() {
 		})
 		obsEng.Start()
 	}
+	var agg *fleet.Aggregator
+	if fleetActive {
+		slos, err := fleet.ParseSLOs(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+		fOpts := fleet.Options{Fleet: cfg.Node, Interval: *fleetEvery, SLOs: slos}
+		if *profileDir != "" {
+			fOpts.Profiler = &fleet.Profiler{Dir: *profileDir}
+		}
+		agg = fleet.New(fOpts)
+		selfRole := fleet.RoleSender
+		if cfg.Role == runtime.Receiver {
+			selfRole = fleet.RoleGateway
+		}
+		agg.AddSource(fleet.EngineSource(cfg.Node, selfRole, obsEng))
+		if err := addFleetPeers(agg, *fleetSpec); err != nil {
+			fatal(err)
+		}
+		agg.Start()
+	}
 	if *telemetryAddr != "" {
-		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Tracer: tracer, Obs: obsEng})
+		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Tracer: tracer, Obs: obsEng, Fleet: agg})
 		if err != nil {
 			fatal(err)
 		}
@@ -128,6 +159,9 @@ func main() {
 		extra := "/healthz, /status, /debug/vars, /debug/pprof"
 		if tracer != nil {
 			extra += ", /trace"
+		}
+		if agg != nil {
+			extra += ", /cluster, /alerts"
 		}
 		fmt.Printf("telemetry: http://%s/metrics (also %s)\n", srv.Addr(), extra)
 	}
@@ -217,6 +251,16 @@ func main() {
 	if obsEng != nil {
 		obsEng.Stop()
 	}
+	if agg != nil {
+		agg.Stop()
+	}
+	if *clusterReport != "" {
+		rep := agg.Report()
+		if err := fleet.WriteReportFile(*clusterReport, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cluster report written to %s (dominant: %s)\n", *clusterReport, rep.Dominant)
+	}
 	if *reportPath != "" {
 		rep := obsEng.Report()
 		if err := obs.WriteReportFile(*reportPath, rep); err != nil {
@@ -295,6 +339,34 @@ func newSource(n, scale int, synthetic bool) func() []byte {
 		i++
 		return gen.Next()
 	}
+}
+
+// addFleetPeers parses the -fleet DSL ("node=role=addr", comma
+// separated) into HTTP scrape sources on the aggregator.
+func addFleetPeers(agg *fleet.Aggregator, spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.SplitN(entry, "=", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("-fleet entry %q: want node=role=addr", entry)
+		}
+		var role fleet.Role
+		switch parts[1] {
+		case "sender":
+			role = fleet.RoleSender
+		case "relay":
+			role = fleet.RoleRelay
+		case "gateway":
+			role = fleet.RoleGateway
+		default:
+			return fmt.Errorf("-fleet entry %q: role must be sender, relay or gateway", entry)
+		}
+		agg.AddSource(fleet.HTTPSource(parts[0], role, parts[2]))
+	}
+	return nil
 }
 
 // stageWorkers maps stage name → configured worker count from the node

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"numastream/internal/faults"
 	"numastream/internal/hw"
@@ -136,6 +137,36 @@ func (m *MultiHop) LinkNames() []string {
 // RelayOf returns the relay node name sender i routes through.
 func (m *MultiHop) RelayOf(i int) string {
 	return m.RelayNames[m.relayOf[i]]
+}
+
+// LinkInfo names one link and its endpoint nodes, in flow direction
+// (From is the upstream end).
+type LinkInfo struct {
+	Name     string
+	From, To string
+}
+
+// Links returns every link with its endpoints, sorted by name — the
+// hop inventory a fleet aggregator attributes delay against.
+func (m *MultiHop) Links() []LinkInfo {
+	out := make([]LinkInfo, 0, len(m.links))
+	for name, nl := range m.links {
+		out = append(out, LinkInfo{Name: name, From: nl.ends[0], To: nl.ends[1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetLinkFaults installs a capacity-fault schedule on one named link —
+// the throttled-uplink drills' entry point, where ApplyTopology only
+// expresses hard outages. The name must exist; silently dropping a
+// throttle would turn a drill into a healthy run that still "passes".
+func (m *MultiHop) SetLinkFaults(name string, sched faults.LinkSchedule) error {
+	nl, ok := m.links[name]
+	if !ok {
+		return fmt.Errorf("cluster: no link %q (have %v)", name, m.LinkNames())
+	}
+	return nl.link.SetFaults(sched)
 }
 
 // ApplyTopology compiles a topology schedule onto the deployment's

@@ -46,6 +46,11 @@ type ThousandStreamConfig struct {
 	MaxConcurrency int   // cap on concurrently active streams; 0 = all at once
 	Seed           int64 // drives victim choice, jitter, and fault randomness
 	Plan           faults.Plan
+	// Registry, when non-nil, is the metrics registry the loopback drill
+	// records into instead of a private one — the hook that lets loadgen
+	// serve live /metrics, /status and /cluster while a soak runs. The
+	// sim ignores it (virtual time has nothing live to scrape).
+	Registry *metrics.Registry
 }
 
 func (c ThousandStreamConfig) withDefaults(mode string) ThousandStreamConfig {
@@ -428,7 +433,10 @@ func ThousandStreamLoopback(cfg ThousandStreamConfig) (ThousandStreamResult, err
 		return ThousandStreamResult{}, fmt.Errorf("experiments: loopback drill runs with admission unlimited (MaxStreams 0); sim covers rejection")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	reg := metrics.NewRegistry()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	reg.SetStreamCap(cfg.StreamCap)
 	ledger := pipeline.NewLedger(reg, 0)
 	topo, _ := hostnuma.Discover()

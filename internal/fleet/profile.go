@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Profiler captures regime-triggered pprof artifacts: when the cluster
+// verdict enters a degraded regime or an SLO alert fires, the owning
+// node writes a short CPU profile and a heap snapshot to Dir. Captures
+// are rate-limited by MinGap on the wall clock — an alert flapping
+// every window must not turn the artifact directory into a firehose —
+// and suppressed captures are counted so the report can say what it
+// didn't keep.
+type Profiler struct {
+	// Dir receives the artifacts; created on first capture.
+	Dir string
+	// MinGap is the minimum wall-clock spacing between captures; <= 0
+	// means DefaultProfileGap.
+	MinGap time.Duration
+	// CPUDuration is how long the CPU profile samples; <= 0 means
+	// DefaultCPUDuration. The capture call blocks for this long.
+	CPUDuration time.Duration
+
+	mu         sync.Mutex
+	seq        int
+	last       time.Time
+	artifacts  []string
+	suppressed int
+}
+
+// Profiler defaults.
+const (
+	DefaultProfileGap  = 30 * time.Second
+	DefaultCPUDuration = 250 * time.Millisecond
+)
+
+// Capture writes one CPU + heap profile pair tagged with reason,
+// returning the created paths (nil when rate-limited or on error). The
+// CPU leg is skipped when another CPU profile is already running (the
+// telemetry server's /debug/pprof/profile owns the singleton then);
+// the heap snapshot is captured regardless.
+func (p *Profiler) Capture(reason string) []string {
+	p.mu.Lock()
+	gap := p.MinGap
+	if gap <= 0 {
+		gap = DefaultProfileGap
+	}
+	if !p.last.IsZero() && time.Since(p.last) < gap {
+		p.suppressed++
+		p.mu.Unlock()
+		return nil
+	}
+	p.last = time.Now()
+	p.seq++
+	seq := p.seq
+	p.mu.Unlock()
+
+	if err := os.MkdirAll(p.Dir, 0o755); err != nil {
+		return nil
+	}
+	reason = sanitizeReason(reason)
+	var created []string
+
+	cpuDur := p.CPUDuration
+	if cpuDur <= 0 {
+		cpuDur = DefaultCPUDuration
+	}
+	cpuPath := filepath.Join(p.Dir, fmt.Sprintf("%03d-%s-cpu.pprof", seq, reason))
+	if f, err := os.Create(cpuPath); err == nil {
+		if err := pprof.StartCPUProfile(f); err == nil {
+			time.Sleep(cpuDur)
+			pprof.StopCPUProfile()
+			f.Close()
+			created = append(created, cpuPath)
+		} else {
+			f.Close()
+			os.Remove(cpuPath)
+		}
+	}
+
+	heapPath := filepath.Join(p.Dir, fmt.Sprintf("%03d-%s-heap.pprof", seq, reason))
+	if f, err := os.Create(heapPath); err == nil {
+		runtime.GC() // an up-to-date heap picture, not the last GC's
+		if err := pprof.WriteHeapProfile(f); err == nil {
+			created = append(created, heapPath)
+		} else {
+			os.Remove(heapPath)
+		}
+		f.Close()
+	}
+
+	p.mu.Lock()
+	p.artifacts = append(p.artifacts, created...)
+	p.mu.Unlock()
+	return created
+}
+
+// Artifacts returns every path captured so far and the count of
+// rate-limit-suppressed captures.
+func (p *Profiler) Artifacts() ([]string, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.artifacts...), p.suppressed
+}
+
+// sanitizeReason maps a capture reason onto a safe filename fragment.
+func sanitizeReason(s string) string {
+	b := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		return "capture"
+	}
+	return string(b)
+}

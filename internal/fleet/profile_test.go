@@ -1,0 +1,63 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerCaptureAndRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	p := &Profiler{Dir: dir, MinGap: time.Hour, CPUDuration: 10 * time.Millisecond}
+
+	created := p.Capture("alert-fair share!")
+	if len(created) == 0 {
+		t.Fatal("first capture created nothing")
+	}
+	for _, path := range created {
+		fi, err := os.Stat(path)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("artifact %s missing or empty (err=%v)", path, err)
+		}
+		base := filepath.Base(path)
+		if strings.ContainsAny(base, "! ") {
+			t.Fatalf("unsanitized artifact name %q", base)
+		}
+		if !strings.HasPrefix(base, "001-alert-fair_share_") {
+			t.Fatalf("artifact name %q missing seq and sanitized reason", base)
+		}
+	}
+
+	// Within MinGap: suppressed, counted, nothing written.
+	if again := p.Capture("regime-churn-degraded"); again != nil {
+		t.Fatalf("rate-limited capture returned %v", again)
+	}
+	arts, suppressed := p.Artifacts()
+	if len(arts) != len(created) || suppressed != 1 {
+		t.Fatalf("artifacts=%d suppressed=%d, want %d/1", len(arts), suppressed, len(created))
+	}
+}
+
+func TestProfilerGapElapses(t *testing.T) {
+	p := &Profiler{Dir: t.TempDir(), MinGap: time.Nanosecond, CPUDuration: time.Millisecond}
+	p.Capture("one")
+	time.Sleep(time.Millisecond)
+	if second := p.Capture("two"); len(second) == 0 {
+		t.Fatal("capture after the gap elapsed created nothing")
+	}
+	arts, suppressed := p.Artifacts()
+	if suppressed != 0 || len(arts) < 2 {
+		t.Fatalf("artifacts=%d suppressed=%d, want >=2/0", len(arts), suppressed)
+	}
+}
+
+func TestSanitizeReason(t *testing.T) {
+	if got := sanitizeReason("alert-e2e p99<=250"); strings.ContainsAny(got, " <=") {
+		t.Fatalf("sanitizeReason left specials: %q", got)
+	}
+	if got := sanitizeReason(""); got != "capture" {
+		t.Fatalf("empty reason = %q, want capture", got)
+	}
+}

@@ -45,6 +45,16 @@ const (
 	DefaultScoreboardMax = 64
 )
 
+// Registry counters the engine maintains about itself: windows and
+// regime transitions dropped off the bounded rings. Exposed on /metrics
+// (numastream_obs_window_drops_total / numastream_obs_regime_drops_total)
+// so a starved engine — scraped slower than it ticks — is visible from
+// outside the process, not only in its own report.
+const (
+	CtrWindowDrops = "obs_window_drops"
+	CtrRegimeDrops = "obs_regime_drops"
+)
+
 // Regime is one verdict transition: at T seconds on the run's clock the
 // pipeline stopped being From-bound and became To-bound.
 type Regime struct {
@@ -156,12 +166,18 @@ func (e *Engine) Observe(s Snapshot) *Window {
 	if over := len(e.windows) - e.opts.WindowCap; over > 0 {
 		e.windows = append(e.windows[:0], e.windows[over:]...)
 		e.windowsDropped += int64(over)
+		if e.reg != nil {
+			e.reg.Counter(CtrWindowDrops).Add(int64(over))
+		}
 	}
 	if w.Verdict != e.verdict {
 		e.regimes = append(e.regimes, Regime{T: w.T1, From: e.verdict, To: w.Verdict, Evidence: w.Evidence})
 		if over := len(e.regimes) - e.opts.RegimeCap; over > 0 {
 			e.regimes = append(e.regimes[:0], e.regimes[over:]...)
 			e.regimesDropped += int64(over)
+			if e.reg != nil {
+				e.reg.Counter(CtrRegimeDrops).Add(int64(over))
+			}
 		}
 		e.verdict = w.Verdict
 	}

@@ -94,6 +94,13 @@ type histBar struct {
 // at or below it — an le absent from prev inherits the step, it does
 // not read as zero.
 func histDiff(prev, cur HistState) (bars []histBar, count int64, sum int64) {
+	if cur.Count < prev.Count {
+		// Counter reset: the series restarted (process restart, registry
+		// swap) and cur is a younger life than prev. Diffing against the
+		// stale baseline would yield negative counts; treat cur as a
+		// fresh distribution instead.
+		prev = HistState{}
+	}
 	pi := 0
 	prevStep := int64(0) // prev's cumulative count at the current le
 	winCum := int64(0)   // window cumulative at the previous cur bucket

@@ -202,12 +202,15 @@ func Diff(prev, cur Snapshot, workers map[string]int) Window {
 			continue
 		}
 		pm := prev.Meters[stage]
-		sw := StageWindow{
-			Stage: stage,
-			Items: m.Items - pm.Items,
+		sw := StageWindow{Stage: stage}
+		// Deltas clamp at zero: a counter reset (process restart,
+		// registry swap) makes cur younger than prev, and a negative
+		// rate is noise, not a signal.
+		if d := m.Items - pm.Items; d > 0 {
+			sw.Items = d
 		}
-		if w.Dur > 0 {
-			sw.Gbps = float64(m.Bytes-pm.Bytes) * 8 / 1e9 / w.Dur
+		if d := m.Bytes - pm.Bytes; d > 0 && w.Dur > 0 {
+			sw.Gbps = float64(d) * 8 / 1e9 / w.Dur
 		}
 		if lat, ok := cur.Hists[stage+"_latency_ns"]; ok {
 			plat := prev.Hists[stage+"_latency_ns"]
@@ -242,8 +245,12 @@ func Diff(prev, cur Snapshot, workers map[string]int) Window {
 		}
 		qw := QueueWindow{Queue: q, Depth: depth}
 		if w.Dur > 0 {
-			qw.PutBlockedShare = (cur.Gauges[q+"_put_blocked_secs"] - prev.Gauges[q+"_put_blocked_secs"]) / w.Dur
-			qw.GetBlockedShare = (cur.Gauges[q+"_get_blocked_secs"] - prev.Gauges[q+"_get_blocked_secs"]) / w.Dur
+			if d := cur.Gauges[q+"_put_blocked_secs"] - prev.Gauges[q+"_put_blocked_secs"]; d > 0 {
+				qw.PutBlockedShare = d / w.Dur
+			}
+			if d := cur.Gauges[q+"_get_blocked_secs"] - prev.Gauges[q+"_get_blocked_secs"]; d > 0 {
+				qw.GetBlockedShare = d / w.Dur
+			}
 		}
 		w.Queues = append(w.Queues, qw)
 	}
@@ -259,9 +266,12 @@ func Diff(prev, cur Snapshot, workers map[string]int) Window {
 		return w.Queues[i].Queue < w.Queues[j].Queue
 	})
 
-	// Pool pressure.
+	// Pool pressure. Deltas clamp at zero across counter resets.
 	gdelta := func(name string) int64 {
-		return int64(cur.Gauges[name] - prev.Gauges[name])
+		if d := int64(cur.Gauges[name] - prev.Gauges[name]); d > 0 {
+			return d
+		}
+		return 0
 	}
 	hits := gdelta("bufpool_hits")
 	w.Pool.Misses = gdelta("bufpool_misses")
@@ -338,8 +348,8 @@ func streamHealth(prev, cur Snapshot, dur float64) []StreamHealth {
 		sh := StreamHealth{Stream: l}
 		if m, ok := cur.Meters["delivered_stream_"+l]; ok {
 			sh.Bytes, sh.Chunks = m.Bytes, m.Items
-			if dur > 0 {
-				sh.Gbps = float64(m.Bytes-prev.Meters["delivered_stream_"+l].Bytes) * 8 / 1e9 / dur
+			if d := m.Bytes - prev.Meters["delivered_stream_"+l].Bytes; d > 0 && dur > 0 {
+				sh.Gbps = float64(d) * 8 / 1e9 / dur
 			}
 		}
 		if h, ok := cur.Hists["chunk_e2e_stream_"+l+"_ns"]; ok {

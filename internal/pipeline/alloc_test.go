@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"numastream/internal/bufpool"
+	"numastream/internal/fleet"
 	"numastream/internal/metrics"
 	"numastream/internal/obs"
 	"numastream/internal/runtime"
@@ -123,6 +124,15 @@ func TestSteadyStateZeroChunkAllocs(t *testing.T) {
 	eng := obs.NewEngine(reg, obs.Options{Interval: 25 * time.Millisecond, Node: "alloc-drill"})
 	eng.Start()
 	defer eng.Stop()
+
+	// The fleet aggregator rides on top, pulling the engine's status at
+	// its own cadence: the cluster control tower must also stay off the
+	// chunk path. Its per-tick work lands on its own goroutine, so the
+	// slope below proves aggregation never leaks into per-chunk cost.
+	agg := fleet.New(fleet.Options{Fleet: "alloc-drill", Interval: 25 * time.Millisecond})
+	agg.AddSource(fleet.EngineSource("alloc-drill", fleet.RoleGateway, eng))
+	agg.Start()
+	defer agg.Stop()
 
 	pool := bufpool.New(1)
 	// Warm-up: populate the buffer pool, frame pool, connection scratch

@@ -19,6 +19,13 @@
 //	              default; ?format=text for a terminal summary,
 //	              ?streams=1 to include the per-stream health
 //	              scoreboard, ?log=1 for the regime log as JSONL.
+//	/cluster      (ServeWith with a Fleet aggregator) the cluster-wide
+//	              control-tower view: the fleet verdict naming the
+//	              dominant node + stage, per-node windows, per-hop delay
+//	              shares, SLO alert states and the cluster regime log.
+//	              JSON by default; ?format=text for a terminal summary.
+//	/alerts       (ServeWith with a Fleet aggregator) just the SLO alert
+//	              states, as a JSON array.
 //	/debug/vars   the standard expvar JSON dump (the registry is
 //	              published under "numastream").
 //	/debug/pprof  the standard net/http/pprof profiles.
@@ -41,6 +48,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"numastream/internal/fleet"
 	"numastream/internal/metrics"
 	"numastream/internal/obs"
 	"numastream/internal/trace"
@@ -67,6 +75,9 @@ type Options struct {
 	// self-diagnosis view (verdict, latest window, regime log,
 	// per-stream scoreboard).
 	Obs *obs.Engine
+	// Fleet, when non-nil, is exposed at /cluster (the aggregated
+	// control-tower view) and /alerts (the SLO alert states).
+	Fleet *fleet.Aggregator
 }
 
 // Serve starts a telemetry server for reg on addr (":0" picks a free
@@ -135,6 +146,27 @@ func ServeWith(addr string, reg *metrics.Registry, opts Options) (*Server, error
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
 			enc.Encode(st)
+		})
+	}
+	if opts.Fleet != nil {
+		agg := opts.Fleet
+		mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+			st := agg.Status()
+			if r.URL.Query().Get("format") == "text" {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				st.WriteText(w)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(st)
+		})
+		mux.HandleFunc("/alerts", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(agg.Alerts())
 		})
 	}
 	mux.Handle("/debug/vars", expvar.Handler())
