@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench churn-drill report-drill stream-drill fleet-drill
+.PHONY: build test vet race check bench churn-drill report-drill stream-drill fleet-drill adapt-drill
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,12 @@ vet:
 # (histograms, sampler, live endpoint), and the tracing layer
 # (concurrent Add/WriteJSON, chunk framing), the snapshot-diff
 # observer (scrape-while-streaming), and the fleet aggregator
-# (Start/Stop ticker, concurrent Status/Alerts reads, HTTP scraping).
+# (Start/Stop ticker, concurrent Status/Alerts reads, HTTP scraping),
+# and the adaptive placement controller (window callbacks racing pool
+# resizes; the elastic-pool storm tests live in internal/pipeline).
 race:
-	$(GO) test -race ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/fleet/... ./internal/metrics/... ./internal/msgq/... ./internal/obs/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
-	$(GO) test -race -run 'TestChurn|TestMultiHop|TestThousand' ./internal/cluster/... ./internal/experiments/...
+	$(GO) test -race ./internal/adapt/... ./internal/bufpool/... ./internal/chunk/... ./internal/faults/... ./internal/fleet/... ./internal/metrics/... ./internal/msgq/... ./internal/obs/... ./internal/pipeline/... ./internal/queue/... ./internal/telemetry/... ./internal/trace/...
+	$(GO) test -race -run 'TestChurn|TestMultiHop|TestThousand|TestAdapt' ./internal/cluster/... ./internal/experiments/...
 
 # Churn drill: the seeded netsim churn storm (multi-hop topology events,
 # per-event fault attribution) and the real-mode relay kill/restart
@@ -70,9 +72,28 @@ fleet-drill:
 	@ls fleet-profiles/*.pprof >/dev/null 2>&1 || { echo "fleet-drill: no profile artifacts captured"; exit 1; }
 	@echo "fleet-drill: cluster verdicts checked, alert-triggered profiles captured"
 
+# Adapt drill: the convergence contract for the adaptive placement
+# controller. The deterministic sim drill starts from a deliberately bad
+# config (one compress worker, everything pinned to one socket), lets
+# the controller watch the self-diagnosis windows and resize/re-pin the
+# elastic pools, and Check() inside the binary asserts convergence to
+# within 10% of the hand-tuned config, the tuned config drawing zero
+# actions, and the bad config staying visibly slow uncontrolled. Run
+# twice with the same seed: the action logs (and the whole result JSON)
+# must be byte-identical. The elastic-pool storm tests then replay the
+# randomized Grow/Shrink churn against a live loopback pipeline under
+# the race detector (exactly-once ledger, no worker leaks, abort never
+# wedges mid-retire).
+adapt-drill:
+	$(GO) run ./cmd/experiments -fig none -adapt -adapt-json adapt-drill-a.json
+	$(GO) run ./cmd/experiments -fig none -adapt -adapt-json adapt-drill-b.json
+	cmp adapt-drill-a.json adapt-drill-b.json
+	$(GO) test -race -count=1 -run 'TestPool|TestElastic|TestRetire|TestControls' ./internal/pipeline/...
+	@echo "adapt-drill: byte-identical convergence runs + elastic storm clean under -race"
+
 # The single CI entry point: build, vet, tests, race pass, churn drill,
-# report drill, stream drill, fleet drill.
-check: build vet test race churn-drill report-drill stream-drill fleet-drill
+# report drill, stream drill, fleet drill, adapt drill.
+check: build vet test race churn-drill report-drill stream-drill fleet-drill adapt-drill
 
 # Human-readable benchmark run over the root suite (the paper figures,
 # the loopback pipeline, queues, LZ4).

@@ -8,12 +8,14 @@ package numastream_test
 
 import (
 	"bytes"
+	"runtime"
 	"sync"
 	"testing"
 
 	"numastream"
 	"numastream/internal/experiments"
 	"numastream/internal/lz4"
+	"numastream/internal/pipeline"
 	"numastream/internal/queue"
 	"numastream/internal/tomo"
 )
@@ -402,6 +404,48 @@ func benchLoopback(b *testing.B, disablePool bool) {
 		b.Fatal(err)
 	}
 	if err := <-recvDone; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkElasticPoolGrowShrink measures one full elastic churn cycle
+// against a live pool: grow one worker onto the next domain, shrink it
+// back, then wait for the retirement to land (Live back at baseline).
+// This is the end-to-end latency the adaptive placement controller pays
+// per resize step, including the lazy chunk-boundary handshake.
+func BenchmarkElasticPoolGrowShrink(b *testing.B) {
+	stop := make(chan struct{})
+	pool := pipeline.StartPool(pipeline.PoolConfig{
+		Name: "bench", Workers: 2, MaxWorkers: 8,
+	}, func(w *pipeline.Worker) error {
+		for {
+			if w.Retiring() {
+				return nil
+			}
+			select {
+			case <-stop:
+				return nil
+			default:
+				runtime.Gosched()
+			}
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dom := i % 2
+		if pool.Grow(1, dom) != 1 {
+			b.Fatal("grow refused")
+		}
+		if pool.Shrink(1, dom) != 1 {
+			b.Fatal("shrink refused")
+		}
+		for pool.Live() != 2 {
+			runtime.Gosched()
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	if err := pool.Wait(); err != nil {
 		b.Fatal(err)
 	}
 }

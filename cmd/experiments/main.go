@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,9 @@ func main() {
 	degradedReal := flag.Bool("degraded-real", false, "run the real-mode fault injection loopback (robustness)")
 	churn := flag.Bool("churn", false, "run the churn-storm simulation: a seeded topology schedule crashes senders and relays on a multi-hop deployment (robustness)")
 	churnReal := flag.Bool("churn-real", false, "run the real-mode churn drill: relay forwarders killed and restarted mid-stream, exactly-once ledger on the gateway (robustness)")
+	adaptDrill := flag.Bool("adapt", false, "run the adaptive placement convergence drill: from a deliberately bad config (1 compress worker, everything on one socket) the feedback controller must converge to within 10% of the tuned configuration, deterministically (test)")
+	adaptSeed := flag.Int64("adapt-seed", 1, "adapt drill RNG seed (-adapt)")
+	adaptJSON := flag.String("adapt-json", "", "write the -adapt drill result (throughputs, action log, regime story) as JSON to this file; byte-identical across runs with the same seed")
 	fleetDrill := flag.Bool("fleet", false, "run the fleet control-tower drills: throttled-uplink attribution and churn availability alert, each checked against the drill contract (observability)")
 	profileDir := flag.String("profile-dir", "", "directory for regime/alert-triggered pprof captures during -fleet (default: none captured)")
 	churnSeed := flag.Int64("churn-seed", 11, "churn storm RNG seed (-churn)")
@@ -292,6 +296,27 @@ func main() {
 			fmt.Printf("fleet drill %s: PASS — dominant %s@%s:%s, alerts fired/resolved %d/%d\n",
 				run.name, res.Report.Dominant, res.Report.DominantNode, res.Report.DominantStage, fired, resolved)
 		}
+	}
+	if *adaptDrill {
+		res, err := experiments.AdaptSim(*adaptSeed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.FormatAdaptSim(res))
+		if err := res.Check(); err != nil {
+			fail(fmt.Errorf("adapt drill: %w", err))
+		}
+		if *adaptJSON != "" {
+			out, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*adaptJSON, append(out, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Printf("adapt drill: PASS — converged to %.0f%% of tuned with %d actions over %d windows\n",
+			100*res.Converged(), len(res.Actions), res.Windows)
 	}
 	if *traceWire != "" {
 		chunks, chunkBytes := 64, 256<<10

@@ -23,11 +23,14 @@ import (
 	"os"
 	"time"
 
+	"numastream/internal/adapt"
 	"numastream/internal/experiments"
 	"numastream/internal/faults"
 	"numastream/internal/fleet"
 	"numastream/internal/metrics"
+	"numastream/internal/numa"
 	"numastream/internal/obs"
+	"numastream/internal/pipeline"
 	"numastream/internal/telemetry"
 )
 
@@ -52,6 +55,8 @@ func main() {
 	statusInterval := flag.Duration("status-interval", 500*time.Millisecond, "obs snapshot interval for -telemetry-addr; drives how fresh /status and /cluster stay during the soak")
 	sloSpec := flag.String("slo", "", "SLO clauses for -telemetry-addr, e.g. 'e2e_p99_ms<=250,fair_share>=0.5,holes<=0'")
 	clusterReport := flag.String("cluster-report", "", "write the end-of-soak cluster report to this file (markdown when it ends in .md, JSON otherwise)")
+	adaptOn := flag.Bool("adapt", false, "run the adaptive placement controller against the loopback gateway: it watches the soak's self-diagnosis windows and resizes the elastic receive/decompress pools live; prints the action log at exit (loopback mode only)")
+	nicDomain := flag.Int("nic-domain", -1, "NUMA domain owning the data NIC for -adapt wire-bound migration (-1 = unknown, migration disabled)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -91,14 +96,15 @@ func main() {
 	// top — so /status, /cluster and /alerts answer live mid-soak. The
 	// sim runs in virtual time with nothing live to scrape, so these
 	// flags are loopback-only.
-	liveTelemetry := *telemetryAddr != "" || *sloSpec != "" || *clusterReport != ""
+	liveTelemetry := *telemetryAddr != "" || *sloSpec != "" || *clusterReport != "" || *adaptOn
 	var (
 		obsEng *obs.Engine
 		agg    *fleet.Aggregator
+		ctrl   *adapt.Controller
 	)
 	if liveTelemetry {
 		if *mode != "loopback" {
-			fail(fmt.Errorf("-telemetry-addr/-slo/-cluster-report need -mode loopback (the sim runs in virtual time)"))
+			fail(fmt.Errorf("-telemetry-addr/-slo/-cluster-report/-adapt need -mode loopback (the sim runs in virtual time)"))
 		}
 		var slos []fleet.SLO
 		if *sloSpec != "" {
@@ -110,13 +116,32 @@ func main() {
 		}
 		reg := metrics.NewRegistry()
 		cfg.Registry = reg
-		obsEng = obs.NewEngine(reg, obs.Options{Node: "thousand-gw", Interval: *statusInterval})
+		obsOpts := obs.Options{Node: "thousand-gw", Interval: *statusInterval}
+		if *adaptOn {
+			// The gateway runs receive 4 / decompress 2; let adaptation
+			// refine the sizing up to twice that, never past it.
+			cfg.Controls = pipeline.NewControls()
+			pol := adapt.DefaultPolicy()
+			pol.NICDomain = *nicDomain
+			if topo, ok := numa.Discover(); ok {
+				for _, n := range topo.Nodes {
+					pol.Domains = append(pol.Domains, n.ID)
+				}
+			}
+			pol.MaxWorkers = map[string]int{"receive": 8, "decompress": 4}
+			ctrl = adapt.New(pol, cfg.Controls)
+			obsOpts.OnWindow = ctrl.OnWindow
+		}
+		obsEng = obs.NewEngine(reg, obsOpts)
+		if ctrl != nil {
+			ctrl.BindEngine(obsEng)
+		}
 		obsEng.Start()
 		agg = fleet.New(fleet.Options{Fleet: "loadgen", Interval: *statusInterval, SLOs: slos})
 		agg.AddSource(fleet.EngineSource("thousand-gw", fleet.RoleGateway, obsEng))
 		agg.Start()
 		if *telemetryAddr != "" {
-			srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Obs: obsEng, Fleet: agg})
+			srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Obs: obsEng, Fleet: agg, Adapt: ctrl})
 			if err != nil {
 				fail(err)
 			}
@@ -160,6 +185,13 @@ func main() {
 		}
 	}
 
+	if ctrl != nil {
+		actions := ctrl.Actions()
+		fmt.Printf("loadgen: adaptive placement made %d actions\n", len(actions))
+		if len(actions) > 0 {
+			fmt.Print(adapt.FormatActions(actions))
+		}
+	}
 	if *jsonPath != "-" {
 		fmt.Print(experiments.FormatThousandStream(res))
 	}

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"numastream/internal/adapt"
 	"numastream/internal/faults"
 	"numastream/internal/fleet"
 	"numastream/internal/metrics"
@@ -45,6 +46,10 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a Chrome trace of this node's workers to the file; on a receiver fed by a -trace-wire sender this is the merged cross-host journey trace")
 		traceWire   = flag.Bool("trace-wire", false, "sender: ship a per-chunk trace context on every frame so a new-protocol receiver can stitch cross-host chunk journeys (no effect against legacy receivers)")
 		bufpoolMode = flag.String("bufpool", "on", "NUMA-aware buffer pooling on the hot path: on | off (off = per-chunk allocation, the pre-pooling behaviour; for A/B runs and leak triage)")
+
+		// Adaptive placement (the feedback controller).
+		adaptOn   = flag.Bool("adapt", false, "enable the online adaptive placement controller: it watches the self-diagnosis windows and grows/shrinks/migrates the elastic worker pools at runtime; the action log lands on /status?actions=1 and in -report")
+		nicDomain = flag.Int("nic-domain", -1, "NUMA domain owning the data NIC, the target of wire-bound send migration (-1 = unknown, migration disabled)")
 
 		// Telemetry (the flight recorder).
 		telemetryAddr = flag.String("telemetry-addr", "", "serve /metrics (Prometheus text), /status (live bottleneck self-diagnosis), /debug/vars and /debug/pprof on this address while the node runs")
@@ -120,13 +125,30 @@ func main() {
 	// it: the /status endpoint, the -report artifact, or the fleet
 	// aggregator (which folds this node's own diagnosis in).
 	fleetActive := *fleetSpec != "" || *sloSpec != "" || *clusterReport != ""
+
+	// The adaptive placement controller needs two hookups made before
+	// the engine exists: the elastic pool controls (its hands) and the
+	// window stream (its eyes). -adapt implies the obs engine.
+	var controls *pipeline.Controls
+	var ctrl *adapt.Controller
+	if *adaptOn {
+		controls = pipeline.NewControls()
+		ctrl = adapt.New(adaptPolicy(cfg, topo, *nicDomain), controls)
+	}
 	var obsEng *obs.Engine
-	if *telemetryAddr != "" || *reportPath != "" || fleetActive {
-		obsEng = obs.NewEngine(reg, obs.Options{
+	if *telemetryAddr != "" || *reportPath != "" || fleetActive || *adaptOn {
+		opts := obs.Options{
 			Interval: *reportEvery,
 			Node:     cfg.Node,
 			Workers:  stageWorkers(cfg),
-		})
+		}
+		if ctrl != nil {
+			opts.OnWindow = ctrl.OnWindow
+		}
+		obsEng = obs.NewEngine(reg, opts)
+		if ctrl != nil {
+			ctrl.BindEngine(obsEng)
+		}
 		obsEng.Start()
 	}
 	var agg *fleet.Aggregator
@@ -151,7 +173,7 @@ func main() {
 		agg.Start()
 	}
 	if *telemetryAddr != "" {
-		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Tracer: tracer, Obs: obsEng, Fleet: agg})
+		srv, err := telemetry.ServeWith(*telemetryAddr, reg, telemetry.Options{Tracer: tracer, Obs: obsEng, Fleet: agg, Adapt: ctrl})
 		if err != nil {
 			fatal(err)
 		}
@@ -187,6 +209,7 @@ func main() {
 			WriteTimeout: *writeTimeout,
 			WireTrace:    *traceWire,
 
+			Controls:       controls,
 			DisableBufPool: disableBufPool,
 		}
 		var plan faults.Plan
@@ -227,6 +250,7 @@ func main() {
 			MaxStreams:   *maxStreams,
 			StreamCredit: *streamCredit,
 
+			Controls:       controls,
 			DisableBufPool: disableBufPool,
 		}
 		if *serve {
@@ -263,7 +287,11 @@ func main() {
 	}
 	if *reportPath != "" {
 		rep := obsEng.Report()
-		if err := obs.WriteReportFile(*reportPath, rep); err != nil {
+		if ctrl != nil {
+			if err := adapt.WriteReportFile(*reportPath, ctrl.Report(rep)); err != nil {
+				fatal(err)
+			}
+		} else if err := obs.WriteReportFile(*reportPath, rep); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("self-diagnosis report written to %s (dominant regime: %s)\n", *reportPath, rep.Dominant)
@@ -300,6 +328,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace (%d events, %d dropped) written to %s\n", tracer.Len(), tracer.Dropped(), *tracePath)
+	}
+	if ctrl != nil {
+		actions := ctrl.Actions()
+		fmt.Printf("adaptive placement: %d actions\n", len(actions))
+		if len(actions) > 0 {
+			fmt.Print(adapt.FormatActions(actions))
+		}
 	}
 	fmt.Printf("%s %q done:\n%s", cfg.Role, cfg.Node, reg.String())
 }
@@ -367,6 +402,24 @@ func addFleetPeers(agg *fleet.Aggregator, spec string) error {
 		agg.AddSource(fleet.HTTPSource(parts[0], role, parts[2]))
 	}
 	return nil
+}
+
+// adaptPolicy builds the runtime controller tuning: the defaults
+// (hysteresis 3, 2s cooldown, step 2), domains from the discovered
+// topology, and per-stage growth capped at twice the configured count —
+// the config is the operator's sizing; adaptation refines it but never
+// runs away from it.
+func adaptPolicy(cfg runtime.NodeConfig, topo numa.HostTopology, nicDomain int) adapt.Policy {
+	pol := adapt.DefaultPolicy()
+	pol.NICDomain = nicDomain
+	for _, n := range topo.Nodes {
+		pol.Domains = append(pol.Domains, n.ID)
+	}
+	pol.MaxWorkers = map[string]int{}
+	for stage, n := range stageWorkers(cfg) {
+		pol.MaxWorkers[stage] = 2 * n
+	}
+	return pol
 }
 
 // stageWorkers maps stage name → configured worker count from the node

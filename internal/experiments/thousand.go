@@ -51,6 +51,10 @@ type ThousandStreamConfig struct {
 	// serve live /metrics, /status and /cluster while a soak runs. The
 	// sim ignores it (virtual time has nothing live to scrape).
 	Registry *metrics.Registry
+	// Controls, when non-nil, receives the loopback gateway's elastic
+	// worker pools — the hook that lets loadgen run the adaptive
+	// placement controller against a live soak. The sim ignores it.
+	Controls *pipeline.Controls
 }
 
 func (c ThousandStreamConfig) withDefaults(mode string) ThousandStreamConfig {
@@ -474,6 +478,7 @@ func ThousandStreamLoopback(cfg ThousandStreamConfig) (ThousandStreamResult, err
 			Shards:       cfg.Shards,
 			StreamCredit: cfg.Credit,
 			ExactlyOnce:  true, Ledger: ledger,
+			Controls:       cfg.Controls,
 			DisableBufPool: DisableBufPool,
 			Sink: func(c pipeline.Chunk) error {
 				if int(c.Stream) >= len(times) {

@@ -35,6 +35,12 @@ type Options struct {
 	// and the slowest healthy ones, with the rest counted in
 	// StreamsOmitted.
 	ScoreboardMax int
+	// OnWindow, when non-nil, is called with every completed window
+	// after it is folded into the ring — the adaptive placement
+	// controller's subscription point. It runs on the observing
+	// goroutine, outside the engine's lock, so the callback may call
+	// back into the engine (e.g. SetWorkers after resizing a pool).
+	OnWindow func(Window)
 }
 
 // Engine defaults.
@@ -153,6 +159,14 @@ func (e *Engine) Tick() *Window {
 // appends it to the ring, and logs a regime transition if the verdict
 // changed. Snapshots must arrive in clock order.
 func (e *Engine) Observe(s Snapshot) *Window {
+	w := e.observe(s)
+	if w != nil && e.opts.OnWindow != nil {
+		e.opts.OnWindow(*w)
+	}
+	return w
+}
+
+func (e *Engine) observe(s Snapshot) *Window {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.havePrev {
@@ -182,6 +196,22 @@ func (e *Engine) Observe(s Snapshot) *Window {
 		e.verdict = w.Verdict
 	}
 	return &w
+}
+
+// SetWorkers updates one stage's configured worker count — the
+// utilization denominator Diff divides busy-seconds by. The adaptive
+// controller calls it after growing or shrinking a pool so later
+// windows report utilization against the new size. Copy-on-write: the
+// map handed to Options is never mutated.
+func (e *Engine) SetWorkers(stage string, n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := make(map[string]int, len(e.opts.Workers)+1)
+	for k, v := range e.opts.Workers {
+		m[k] = v
+	}
+	m[stage] = n
+	e.opts.Workers = m
 }
 
 // Verdict returns the current regime's verdict.

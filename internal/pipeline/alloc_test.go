@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"numastream/internal/adapt"
 	"numastream/internal/bufpool"
 	"numastream/internal/fleet"
 	"numastream/internal/metrics"
@@ -20,7 +21,7 @@ import (
 // the run. The sink verifies payloads without copying. When reg is
 // non-nil both sides share it (so an observer scraping it sees the live
 // run); otherwise each side gets a private registry.
-func allocLoopback(t *testing.T, reg *metrics.Registry, pool *bufpool.Pool, disable bool, chunks, size int) uint64 {
+func allocLoopback(t *testing.T, reg *metrics.Registry, ctl *Controls, pool *bufpool.Pool, disable bool, chunks, size int) uint64 {
 	t.Helper()
 	topo := testTopo()
 	sReg, rReg := reg, reg
@@ -56,6 +57,7 @@ func allocLoopback(t *testing.T, reg *metrics.Registry, pool *bufpool.Pool, disa
 			Expect:         chunks,
 			Metrics:        rReg,
 			Ready:          ready,
+			Controls:       ctl,
 			BufPool:        pool,
 			DisableBufPool: disable,
 			Sink: func(c Chunk) error {
@@ -69,10 +71,11 @@ func allocLoopback(t *testing.T, reg *metrics.Registry, pool *bufpool.Pool, disa
 	}()
 	addr := <-ready
 	if err := RunSender(SenderOptions{
-		Cfg:     senderCfg(1, 1),
-		Topo:    topo,
-		Peers:   []string{addr},
-		Metrics: sReg,
+		Cfg:      senderCfg(1, 1),
+		Topo:     topo,
+		Peers:    []string{addr},
+		Metrics:  sReg,
+		Controls: ctl,
 		Source: func() []byte {
 			i := srcIdx.Add(1) - 1
 			if i >= int64(chunks) {
@@ -121,7 +124,20 @@ func TestSteadyStateZeroChunkAllocs(t *testing.T) {
 	// and duration-proportional, so the slope measurement below also
 	// proves observation never leaks into the per-chunk cost.
 	reg := metrics.NewRegistry()
-	eng := obs.NewEngine(reg, obs.Options{Interval: 25 * time.Millisecond, Node: "alloc-drill"})
+
+	// The adaptive controller ticks on every window for the whole drill —
+	// hysteresis, ViewOf, Decide — with caps equal to the configured pool
+	// sizes, so every decision clips to nothing: a tuned pipeline pays
+	// only the controller's read path, which must stay off the per-chunk
+	// cost like everything else measured here.
+	ctl := NewControls()
+	pol := adapt.DefaultPolicy()
+	pol.Hysteresis = 1
+	pol.MaxWorkers = map[string]int{"compress": 1, "send": 1, "receive": 1, "decompress": 1}
+	pol.Domains = []int{0, 1}
+	ctrl := adapt.New(pol, ctl)
+	eng := obs.NewEngine(reg, obs.Options{Interval: 25 * time.Millisecond, Node: "alloc-drill", OnWindow: ctrl.OnWindow})
+	ctrl.BindEngine(eng)
 	eng.Start()
 	defer eng.Stop()
 
@@ -137,10 +153,10 @@ func TestSteadyStateZeroChunkAllocs(t *testing.T) {
 	pool := bufpool.New(1)
 	// Warm-up: populate the buffer pool, frame pool, connection scratch
 	// and every lazily-built structure on both sides.
-	allocLoopback(t, reg, pool, false, shortRun, size)
+	allocLoopback(t, reg, ctl, pool, false, shortRun, size)
 
-	pooledShort := allocLoopback(t, reg, pool, false, shortRun, size)
-	pooledLong := allocLoopback(t, reg, pool, false, longRun, size)
+	pooledShort := allocLoopback(t, reg, ctl, pool, false, shortRun, size)
+	pooledLong := allocLoopback(t, reg, ctl, pool, false, longRun, size)
 	pooledSlope := int64(pooledLong) - int64(pooledShort)
 	perChunk := pooledSlope / deltaRuns
 
@@ -157,8 +173,8 @@ func TestSteadyStateZeroChunkAllocs(t *testing.T) {
 	// Harness sanity: the same measurement must catch the unpooled
 	// pipeline allocating per chunk — otherwise a silent measurement
 	// bug could greenlight a regression.
-	unpooledShort := allocLoopback(t, nil, nil, true, shortRun, size)
-	unpooledLong := allocLoopback(t, nil, nil, true, longRun, size)
+	unpooledShort := allocLoopback(t, nil, nil, nil, true, shortRun, size)
+	unpooledLong := allocLoopback(t, nil, nil, nil, true, longRun, size)
 	unpooledPerChunk := (int64(unpooledLong) - int64(unpooledShort)) / deltaRuns
 	t.Logf("unpooled: %d B/chunk", unpooledPerChunk)
 	if unpooledPerChunk < size/2 {

@@ -425,7 +425,7 @@ func RunForwarder(opts ForwarderOptions) error {
 	}
 
 	// Intake: pull from upstream into the relay queue.
-	intake := Start("forward-intake", nRecv, pin, func(worker int) error {
+	intake := Start("forward-intake", nRecv, pin, func(w *Worker) error {
 		for {
 			msg, err := pull.Recv()
 			if err == msgq.ErrClosed {
@@ -446,7 +446,7 @@ func RunForwarder(opts ForwarderOptions) error {
 	})
 
 	// Egress: push downstream round-robin, rerouting around dead lanes.
-	egress := Start("forward-egress", nRecv, pin, func(worker int) error {
+	egress := Start("forward-egress", nRecv, pin, func(w *Worker) error {
 		for {
 			msg, err := relayQ.Get()
 			if err == queue.ErrClosed {

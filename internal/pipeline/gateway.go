@@ -532,23 +532,20 @@ func runShardedReceiver(opts ReceiverOptions) error {
 	var pools []*Pool
 	{
 		obs := newStageObserver(opts.Metrics, tracer, "receive")
-		var closeOnce sync.Once
-		var live sync.WaitGroup
-		live.Add(nRecv)
-		pools = append(pools, Start("receive", nRecv, recvPin, func(worker int) error {
-			defer func() {
-				live.Done()
+		recv := StartPool(PoolConfig{
+			Name: "receive", Workers: nRecv, Pin: recvPin, Topo: opts.Topo,
+			OnDrained: func() {
 				if decQ != nil {
-					closeOnce.Do(func() {
-						go func() {
-							live.Wait()
-							decQ.Close()
-						}()
-					})
+					decQ.Close()
 				}
-			}()
+			},
+		}, func(w *Worker) error {
+			worker := w.ID()
 			cur := msgq.NewShardCursor(worker)
 			for {
+				if w.Retiring() {
+					return nil
+				}
 				d, err := pull.RecvSharded(cur)
 				if err == msgq.ErrClosed {
 					return nil
@@ -612,7 +609,9 @@ func runShardedReceiver(opts ReceiverOptions) error {
 				}
 				toLane(c)
 			}
-		}))
+		})
+		pools = append(pools, recv)
+		opts.Controls.attach("receive", recv, opts.Metrics)
 	}
 
 	if decQ != nil {
@@ -621,9 +620,14 @@ func runShardedReceiver(opts ReceiverOptions) error {
 			return err
 		}
 		obs := newStageObserver(opts.Metrics, tracer, "decompress")
-		pools = append(pools, Start("decompress", decGroup.Count, pin, func(worker int) error {
-			dom := pin.DomainFor(worker)
+		dec := StartPool(PoolConfig{
+			Name: "decompress", Workers: decGroup.Count, Pin: pin, Topo: opts.Topo,
+		}, func(w *Worker) error {
+			worker, dom := w.ID(), w.Domain()
 			for {
+				if w.Retiring() {
+					return nil
+				}
 				c, err := decQ.Get()
 				if err == queue.ErrClosed {
 					return nil
@@ -670,7 +674,9 @@ func runShardedReceiver(opts ReceiverOptions) error {
 				obs.done(worker, t0, c.RawLen, c.Seq)
 				toLane(c)
 			}
-		}))
+		})
+		pools = append(pools, dec)
+		opts.Controls.attach("decompress", dec, opts.Metrics)
 	}
 
 	// Teardown: the gate unblocks first (dispatchers parked on credit

@@ -4,12 +4,20 @@
 // queues of package queue. This is the real-execution counterpart of the
 // simulated executor in package runtime — the same NodeConfig drives
 // both.
+//
+// Pools are elastic: Grow spawns additional workers on a controller-
+// chosen NUMA domain and Shrink retires workers lazily — a retiring
+// worker finishes the chunk in hand and exits at the next chunk
+// boundary, so no in-flight chunk is ever dropped or reordered. The
+// adaptive placement controller (package adapt) drives both through the
+// Controls actuator.
 package pipeline
 
 import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"numastream/internal/numa"
@@ -37,6 +45,15 @@ func (p PinSpec) DomainFor(worker int) int {
 		return 0
 	}
 	return p.Domains[worker%len(p.Domains)]
+}
+
+// CPUsFor returns the CPU set worker i is pinned to, nil when the spec
+// carries none (unpinned).
+func (p PinSpec) CPUsFor(worker int) []int {
+	if len(p.CPUSets) == 0 {
+		return nil
+	}
+	return p.CPUSets[worker%len(p.CPUSets)]
 }
 
 // Unpinned is the zero PinSpec: OS placement.
@@ -73,45 +90,288 @@ func SplitPin(topo numa.HostTopology) PinSpec {
 	return PinSpec{CPUSets: sets, Domains: doms}
 }
 
-// Pool is a set of worker goroutines running one pipeline stage.
+// Worker is the per-goroutine handle a pool body receives. Bodies must
+// poll Retiring() at chunk boundaries (after finishing the chunk in
+// hand) and return nil when it reports true — that is the entire
+// retirement protocol, which keeps in-flight chunks intact by
+// construction.
+type Worker struct {
+	id     int
+	domain int
+	retire chan struct{}
+	// retired marks whether this worker was counted out of the target
+	// view by Shrink (vs exiting naturally on drain/error). Guarded by
+	// the owning pool's mu.
+	retired bool
+}
+
+// ID returns the worker's pool-unique id. Ids are never reused, so a
+// grown worker is distinguishable from the initial cohort in logs.
+func (w *Worker) ID() int { return w.id }
+
+// Domain returns the NUMA domain this worker was placed on (0 when the
+// pool has no domain knowledge). Buffer-pool leases key on this.
+func (w *Worker) Domain() int { return w.domain }
+
+// Retiring reports whether Shrink has asked this worker to exit. The
+// check is non-blocking and allocation-free — safe on the chunk path.
+func (w *Worker) Retiring() bool {
+	select {
+	case <-w.retire:
+		return true
+	default:
+		return false
+	}
+}
+
+// PoolConfig configures an elastic pool.
+type PoolConfig struct {
+	Name    string
+	Workers int     // initial worker count
+	Pin     PinSpec // placement for the initial cohort
+	// Topo lets Grow resolve a controller-chosen domain to a CPU set.
+	// Nil topology (or an unknown domain) grows unpinned workers that
+	// still carry the requested domain label for bufpool locality.
+	Topo numa.HostTopology
+	// MinWorkers is the Shrink floor (default 1): the pool never
+	// retires its last active worker, so a stage cannot be starved to
+	// death by the controller.
+	MinWorkers int
+	// MaxWorkers caps Grow (0 = unbounded).
+	MaxWorkers int
+	// OnDrained runs exactly once, after the last worker has exited and
+	// the pool sealed. Stages use it to close their downstream queue —
+	// the elastic replacement for the old "last worker closes" counter,
+	// correct under any interleaving of Grow, Shrink and natural drain.
+	OnDrained func()
+}
+
+// Pool is an elastic set of worker goroutines running one pipeline
+// stage.
 type Pool struct {
 	name string
 	wg   sync.WaitGroup
+	cfg  PoolConfig
+	// body is written once in StartPool before the pool escapes; Grow
+	// spawns more workers running the same body.
+	body func(w *Worker) error
 
 	mu       sync.Mutex
 	errs     []error
 	pinFails int
+	nextID   int
+	workers  map[int]*Worker // live (spawned, not yet exited)
+	retiring int             // live workers marked by Shrink
+	domains  map[int]int     // target view: domain → active workers
+	sealed   bool            // drained: no worker will ever run again
+	drained  bool            // OnDrained already ran
 }
 
-// Start launches n workers running body(workerID). Each worker locks its
-// OS thread and applies the PinSpec before running. Pinning failures
+// Start launches n workers running body. Each worker locks its OS
+// thread and applies the PinSpec before running. Pinning failures
 // (unsupported platform, restricted sandbox) are counted, not fatal —
 // the stage still runs, merely unpinned, and PinFailures reports it.
-func Start(name string, n int, pin PinSpec, body func(worker int) error) *Pool {
-	p := &Pool{name: name}
-	for i := 0; i < n; i++ {
-		i := i
-		p.wg.Add(1)
-		go func() {
-			defer p.wg.Done()
-			if len(pin.CPUSets) > 0 {
-				runtime.LockOSThread()
-				defer runtime.UnlockOSThread()
-				cpus := pin.CPUSets[i%len(pin.CPUSets)]
-				if err := numa.Pin(cpus); err != nil {
-					p.mu.Lock()
-					p.pinFails++
-					p.mu.Unlock()
-				}
-			}
-			if err := body(i); err != nil {
+func Start(name string, n int, pin PinSpec, body func(w *Worker) error) *Pool {
+	return StartPool(PoolConfig{Name: name, Workers: n, Pin: pin}, body)
+}
+
+// StartPool launches cfg.Workers workers running body under the full
+// elastic configuration.
+func StartPool(cfg PoolConfig, body func(w *Worker) error) *Pool {
+	if cfg.MinWorkers <= 0 {
+		cfg.MinWorkers = 1
+	}
+	p := &Pool{
+		name:    cfg.Name,
+		cfg:     cfg,
+		body:    body,
+		workers: make(map[int]*Worker),
+		domains: make(map[int]int),
+	}
+	p.mu.Lock()
+	for i := 0; i < cfg.Workers; i++ {
+		p.spawnLocked(cfg.Pin.DomainFor(i), cfg.Pin.CPUsFor(i), body)
+	}
+	if cfg.Workers <= 0 {
+		p.sealed = true
+	}
+	p.mu.Unlock()
+	return p
+}
+
+// spawnLocked launches one worker. Caller holds p.mu; the worker's exit
+// path also takes p.mu, so no exit can interleave with a spawn batch.
+func (p *Pool) spawnLocked(domain int, cpus []int, body func(w *Worker) error) {
+	w := &Worker{id: p.nextID, domain: domain, retire: make(chan struct{})}
+	p.nextID++
+	p.workers[w.id] = w
+	p.domains[domain]++
+	p.wg.Add(1)
+	go func() {
+		defer p.exit(w)
+		if len(cpus) > 0 {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			if err := numa.Pin(cpus); err != nil {
 				p.mu.Lock()
-				p.errs = append(p.errs, fmt.Errorf("%s[%d]: %w", name, i, err))
+				p.pinFails++
 				p.mu.Unlock()
 			}
-		}()
+		}
+		if err := body(w); err != nil {
+			p.mu.Lock()
+			p.errs = append(p.errs, fmt.Errorf("%s[%d]: %w", p.name, w.id, err))
+			p.mu.Unlock()
+		}
+	}()
+}
+
+// exit is every worker's deferred bookkeeping: drop it from the live
+// set, seal the pool when it was the last, and run OnDrained exactly
+// once — before wg.Done, so Wait() observing the pool finished implies
+// the downstream queue is already closed (matching the old semantics).
+func (p *Pool) exit(w *Worker) {
+	p.mu.Lock()
+	delete(p.workers, w.id)
+	if w.retired {
+		p.retiring--
+	} else {
+		// A natural exit (drain or error) leaves the target view too.
+		if p.domains[w.domain] > 0 {
+			p.domains[w.domain]--
+		}
 	}
-	return p
+	var drain func()
+	if len(p.workers) == 0 {
+		p.sealed = true
+		if !p.drained {
+			p.drained = true
+			drain = p.cfg.OnDrained
+		}
+	}
+	p.mu.Unlock()
+	if drain != nil {
+		drain()
+	}
+	p.wg.Done()
+}
+
+// Grow spawns up to n new workers on the given NUMA domain (-1 = follow
+// the pool's original PinSpec round-robin). It returns how many were
+// actually spawned: zero once the pool has sealed (the stage drained —
+// growing then would spin workers on a closed queue) or when MaxWorkers
+// is reached. Safe to call concurrently with a live run.
+func (p *Pool) Grow(n, domain int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sealed || n <= 0 {
+		return 0
+	}
+	grown := 0
+	for i := 0; i < n; i++ {
+		if p.cfg.MaxWorkers > 0 && len(p.workers)-p.retiring >= p.cfg.MaxWorkers {
+			break
+		}
+		dom, cpus := p.placementLocked(domain)
+		p.spawnLocked(dom, cpus, p.body)
+		grown++
+	}
+	return grown
+}
+
+// placementLocked resolves a Grow target domain to (domain, CPU set).
+func (p *Pool) placementLocked(domain int) (int, []int) {
+	if domain < 0 {
+		i := p.nextID
+		return p.cfg.Pin.DomainFor(i), p.cfg.Pin.CPUsFor(i)
+	}
+	if node, ok := p.cfg.Topo.Node(domain); ok {
+		return domain, node.CPUs
+	}
+	// Unknown domain in this topology: land unpinned but keep the label
+	// so bufpool leases still shard sensibly.
+	return domain, nil
+}
+
+// Shrink asks up to n workers to retire, preferring the given domain
+// (-1 = any). Retirement is lazy: each marked worker finishes its
+// current chunk and exits at the next chunk boundary (a worker parked
+// on an empty queue retires at its next wakeup or when the queue
+// closes). The pool never shrinks below MinWorkers active workers, and
+// never double-marks a worker. Returns how many workers were marked.
+func (p *Pool) Shrink(n, domain int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	// Candidates: live, not already retiring, matching domain. Retire
+	// newest-first so the initial cohort (whose PinSpec placement the
+	// config chose deliberately) survives longest.
+	var ids []int
+	for id, w := range p.workers {
+		if w.retired {
+			continue
+		}
+		if domain >= 0 && w.domain != domain {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ids)))
+	active := len(p.workers) - p.retiring
+	marked := 0
+	for _, id := range ids {
+		if marked >= n || active-marked <= p.cfg.MinWorkers {
+			break
+		}
+		w := p.workers[id]
+		w.retired = true
+		p.retiring++
+		if p.domains[w.domain] > 0 {
+			p.domains[w.domain]--
+		}
+		close(w.retire)
+		marked++
+	}
+	return marked
+}
+
+// Live returns the number of workers currently running (including ones
+// marked to retire that have not yet reached a chunk boundary).
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// Active returns the target worker count: live workers minus those
+// marked to retire. This is the number the controller reasons about.
+func (p *Pool) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers) - p.retiring
+}
+
+// DomainWorkers returns the target per-domain worker counts.
+func (p *Pool) DomainWorkers() map[int]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]int, len(p.domains))
+	for d, n := range p.domains {
+		if n > 0 {
+			out[d] = n
+		}
+	}
+	return out
+}
+
+// Sealed reports whether the pool has fully drained (no worker will
+// ever run again; Grow refuses).
+func (p *Pool) Sealed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sealed
 }
 
 // Wait blocks until all workers return and joins their errors.

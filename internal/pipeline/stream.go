@@ -313,6 +313,10 @@ type SenderOptions struct {
 	// every stage allocates per chunk as before PR 5, the A/B baseline
 	// for allocator-pressure measurements.
 	DisableBufPool bool
+	// Controls, when non-nil, receives this run's stage pools so the
+	// adaptive placement controller can Grow/Shrink/re-pin them live.
+	// Nil costs nothing on the chunk path.
+	Controls *Controls
 }
 
 // effectivePool resolves the pool an options struct asks for: nil when
@@ -432,19 +436,12 @@ func RunSender(opts SenderOptions) error {
 			return err
 		}
 		obs := newStageObserver(opts.Metrics, tracer, "compress")
-		var closeOnce sync.Once
-		var live sync.WaitGroup
-		live.Add(compGroup.Count)
-		pools = append(pools, Start("compress", compGroup.Count, pin, func(worker int) error {
-			defer func() {
-				live.Done()
-				closeOnce.Do(func() {
-					go func() {
-						live.Wait()
-						sendQ.Close()
-					}()
-				})
-			}()
+		comp := StartPool(PoolConfig{
+			Name: "compress", Workers: compGroup.Count, Pin: pin, Topo: opts.Topo,
+			// The last compress worker out — grown, retired or drained —
+			// closes the send queue.
+			OnDrained: func() { sendQ.Close() },
+		}, func(w *Worker) error {
 			// Pooled mode rents a CompressBound-sized buffer per chunk
 			// (local to this worker's pinned domain) and ships the
 			// compressed block without a packed copy; the send worker
@@ -452,9 +449,12 @@ func RunSender(opts SenderOptions) error {
 			// hatch keeps the legacy exact-size copy, but out of a
 			// grow-once worker-local scratch instead of per-chunk
 			// make([]byte, bound) regrows.
-			dom := pin.DomainFor(worker)
+			worker, dom := w.ID(), w.Domain()
 			var scratch growBuf
 			for {
+				if w.Retiring() {
+					return nil
+				}
 				c, err := compQ.Get()
 				if err == queue.ErrClosed {
 					return nil
@@ -514,7 +514,9 @@ func RunSender(opts SenderOptions) error {
 					return nil        // receiver side gone; drain out
 				}
 			}
-		}))
+		})
+		pools = append(pools, comp)
+		opts.Controls.attach("compress", comp, opts.Metrics)
 	}
 
 	{
@@ -524,33 +526,27 @@ func RunSender(opts SenderOptions) error {
 			return err
 		}
 		obs := newStageObserver(opts.Metrics, tracer, "send")
-		var closeOnce sync.Once
-		var live sync.WaitGroup
-		live.Add(nSend)
-		pools = append(pools, Start("send", nSend, pin, func(worker int) error {
-			defer func() {
-				live.Done()
-				closeOnce.Do(func() {
-					go func() {
-						live.Wait()
-						// All send workers are gone. On a failure exit
-						// (dead peers past the horizon) compress workers
-						// may be blocked in sendQ.Put, and RunSender
-						// waits on the compress pool before it closes
-						// anything — close the queue here so the abort
-						// drains instead of wedging. Idempotent on the
-						// normal path, where sendQ is already closed.
-						sendQ.Close()
-					}()
-				})
-			}()
+		send := StartPool(PoolConfig{
+			Name: "send", Workers: nSend, Pin: pin, Topo: opts.Topo,
+			// All send workers are gone. On a failure exit (dead peers
+			// past the horizon) compress workers may be blocked in
+			// sendQ.Put, and RunSender waits on the compress pool before
+			// it closes anything — close the queue here so the abort
+			// drains instead of wedging. Idempotent on the normal path,
+			// where sendQ is already closed.
+			OnDrained: func() { sendQ.Close() },
+		}, func(w *Worker) error {
 			// Per-worker frame scratch: the 21-byte header lives on this
 			// frame (not a per-chunk make), and the two-part message
 			// shell is reused — with the vectored writer downstream the
 			// steady-state send path allocates nothing per chunk.
+			worker := w.ID()
 			var hdr [headerLen]byte
 			msg := msgq.Message{nil, nil}
 			for {
+				if w.Retiring() {
+					return nil
+				}
 				c, err := sendQ.Get()
 				if err == queue.ErrClosed {
 					return nil
@@ -582,7 +578,9 @@ func RunSender(opts SenderOptions) error {
 				}
 				obs.done(worker, t0, len(c.Data), c.Seq)
 			}
-		}))
+		})
+		pools = append(pools, send)
+		opts.Controls.attach("send", send, opts.Metrics)
 	}
 
 	var firstErr error
@@ -678,6 +676,9 @@ type ReceiverOptions struct {
 	// blocks only its own connection — per-stream backpressure.
 	// Sharded path only.
 	StreamCredit int
+	// Controls, when non-nil, receives this run's stage pools so the
+	// adaptive placement controller can Grow/Shrink/re-pin them live.
+	Controls *Controls
 }
 
 // Receiver-side failure counters recorded in ReceiverOptions.Metrics.
@@ -893,22 +894,21 @@ func RunReceiver(opts ReceiverOptions) error {
 
 	{
 		obs := newStageObserver(opts.Metrics, tracer, "receive")
-		var closeOnce sync.Once
-		var live sync.WaitGroup
-		live.Add(nRecv)
-		pools = append(pools, Start("receive", nRecv, recvPin, func(worker int) error {
-			defer func() {
-				live.Done()
+		recv := StartPool(PoolConfig{
+			Name: "receive", Workers: nRecv, Pin: recvPin, Topo: opts.Topo,
+			// The last receive worker out closes the decompress queue so
+			// chunks already pulled off the wire drain through.
+			OnDrained: func() {
 				if decQ != nil {
-					closeOnce.Do(func() {
-						go func() {
-							live.Wait()
-							decQ.Close()
-						}()
-					})
+					decQ.Close()
 				}
-			}()
+			},
+		}, func(w *Worker) error {
+			worker := w.ID()
 			for {
+				if w.Retiring() {
+					return nil
+				}
 				d, err := pull.RecvDelivery()
 				if err == msgq.ErrClosed {
 					return nil
@@ -986,7 +986,9 @@ func RunReceiver(opts ReceiverOptions) error {
 				// what it wants, the frame can go home.
 				c.frame.Release()
 			}
-		}))
+		})
+		pools = append(pools, recv)
+		opts.Controls.attach("receive", recv, opts.Metrics)
 	}
 
 	if decQ != nil {
@@ -995,9 +997,14 @@ func RunReceiver(opts ReceiverOptions) error {
 			return err
 		}
 		obs := newStageObserver(opts.Metrics, tracer, "decompress")
-		pools = append(pools, Start("decompress", decGroup.Count, pin, func(worker int) error {
-			dom := pin.DomainFor(worker)
+		dec := StartPool(PoolConfig{
+			Name: "decompress", Workers: decGroup.Count, Pin: pin, Topo: opts.Topo,
+		}, func(w *Worker) error {
+			worker, dom := w.ID(), w.Domain()
 			for {
+				if w.Retiring() {
+					return nil
+				}
 				c, err := decQ.Get()
 				if err == queue.ErrClosed {
 					return nil
@@ -1061,7 +1068,9 @@ func RunReceiver(opts ReceiverOptions) error {
 				c.lease.Release()
 				c.frame.Release()
 			}
-		}))
+		})
+		pools = append(pools, dec)
+		opts.Controls.attach("decompress", dec, opts.Metrics)
 	}
 
 	// Stop the intake once the expected chunks have been accounted for;

@@ -310,9 +310,9 @@ func TestPinForMappings(t *testing.T) {
 func TestPoolRunsAllWorkers(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]bool{}
-	p := Start("test", 4, Unpinned, func(w int) error {
+	p := Start("test", 4, Unpinned, func(w *Worker) error {
 		mu.Lock()
-		seen[w] = true
+		seen[w.ID()] = true
 		mu.Unlock()
 		return nil
 	})
@@ -328,9 +328,9 @@ func TestPoolRunsAllWorkers(t *testing.T) {
 }
 
 func TestPoolJoinsErrors(t *testing.T) {
-	p := Start("boom", 3, Unpinned, func(w int) error {
-		if w == 1 {
-			return fmt.Errorf("worker %d failed", w)
+	p := Start("boom", 3, Unpinned, func(w *Worker) error {
+		if w.ID() == 1 {
+			return fmt.Errorf("worker %d failed", w.ID())
 		}
 		return nil
 	})

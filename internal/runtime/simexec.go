@@ -123,6 +123,151 @@ type Stream struct {
 
 	// queues, captured at build time for bottleneck analysis.
 	compQ, sendQ, rxQ, decQ *sim.Queue
+
+	// stages, captured at build time: per-stage elastic controls for
+	// the adaptive placement controller (GrowStage / ShrinkStage).
+	stages map[TaskType]*simStage
+}
+
+// simStage is one stage's elastic worker control in the simulator —
+// the virtual-time mirror of pipeline.Pool. Workers are recursive
+// event closures; growth schedules a new loop on a freshly allocated
+// core, and shrinking leaves domain-keyed retire tokens a worker
+// consumes at its next loop head (chunk boundary), releasing its core.
+// All state is mutated inside engine events, so no locking is needed.
+type simStage struct {
+	node    *SimNode
+	spawn   func(core *hw.Core, unpinned bool)
+	live    int
+	domains map[int]int // target workers per socket
+	retire  map[int]int // pending retire tokens per socket
+	onExit  func()      // runs once when the stage drains on queue close
+	drained bool
+}
+
+func (s *Stream) newStage(t TaskType, node *SimNode, onExit func()) *simStage {
+	if s.stages == nil {
+		s.stages = make(map[TaskType]*simStage)
+	}
+	st := &simStage{node: node, domains: map[int]int{}, retire: map[int]int{}, onExit: onExit}
+	s.stages[t] = st
+	return st
+}
+
+// launch starts the initial cohort on its placed cores.
+func (sg *simStage) launch(cores []*hw.Core, unpinned bool) {
+	for _, core := range cores {
+		sg.live++
+		sg.domains[core.Socket]++
+		sg.spawn(core, unpinned)
+	}
+}
+
+// takeRetire consumes a retire token matching this worker's socket. On
+// a hit the worker's core is released (its model capacity frees up for
+// whatever grew elsewhere) and the caller must return without touching
+// its queue again.
+func (sg *simStage) takeRetire(core *hw.Core) bool {
+	if sg.retire[core.Socket] <= 0 {
+		return false
+	}
+	sg.retire[core.Socket]--
+	sg.node.M.ReleaseCore(core)
+	sg.live--
+	if sg.live == 0 {
+		sg.drained = true
+	}
+	return true
+}
+
+// exitClosed is a worker's exit on queue close (natural drain).
+func (sg *simStage) exitClosed() {
+	sg.live--
+	if sg.live == 0 {
+		sg.drained = true
+		if sg.onExit != nil {
+			sg.onExit()
+		}
+	}
+}
+
+// GrowStage adds n workers to the stage on the given socket, returning
+// how many were added (0 once the stage has drained).
+func (s *Stream) GrowStage(t TaskType, n, socket int) int {
+	sg := s.stages[t]
+	if sg == nil || sg.drained || n <= 0 || socket < 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		core := sg.node.M.AllocCore([]int{socket})
+		sg.live++
+		sg.domains[socket]++
+		sg.spawn(core, false)
+	}
+	return n
+}
+
+// ShrinkStage marks up to n workers to retire, preferring the given
+// socket (-1 = busiest first), never below one target worker. Returns
+// how many were marked.
+func (s *Stream) ShrinkStage(t TaskType, n, socket int) int {
+	sg := s.stages[t]
+	if sg == nil || n <= 0 {
+		return 0
+	}
+	total := 0
+	for _, c := range sg.domains {
+		total += c
+	}
+	marked := 0
+	for marked < n && total-marked > 1 {
+		d := socket
+		if d < 0 {
+			// Busiest domain, lowest id on ties.
+			bestN := 0
+			d = -1
+			for dom, c := range sg.domains {
+				if c > bestN || (c == bestN && d >= 0 && dom < d) {
+					d, bestN = dom, c
+				}
+			}
+		}
+		if d < 0 || sg.domains[d] <= 0 {
+			break
+		}
+		sg.domains[d]--
+		sg.retire[d]++
+		marked++
+	}
+	return marked
+}
+
+// StageWorkers returns the stage's target worker count.
+func (s *Stream) StageWorkers(t TaskType) int {
+	sg := s.stages[t]
+	if sg == nil {
+		return 0
+	}
+	total := 0
+	for _, c := range sg.domains {
+		total += c
+	}
+	return total
+}
+
+// StageDomains returns a copy of the stage's target per-socket counts.
+func (s *Stream) StageDomains(t TaskType) map[int]int {
+	sg := s.stages[t]
+	if sg == nil {
+		return nil
+	}
+	out := make(map[int]int, len(sg.domains))
+	for d, c := range sg.domains {
+		if c > 0 {
+			out[d] = c
+		}
+	}
+	return out
 }
 
 // QueueSample is one inter-stage queue's live state at a sample
@@ -426,17 +571,16 @@ func (r *Runner) build(st *Stream) error {
 	if nComp > 0 {
 		g, _ := st.SenderCfg.Group(Compress)
 		cores, unpinned := PlaceGroup(st.Sender, g)
-		live := nComp
-		for _, core := range cores {
-			core := core
+		stage := st.newStage(Compress, st.Sender, func() { sendQ.Close() })
+		stage.spawn = func(core *hw.Core, unpinned bool) {
 			var loop func()
 			loop = func() {
+				if stage.takeRetire(core) {
+					return
+				}
 				compQ.Get(func(item any, ok bool) {
 					if !ok {
-						live--
-						if live == 0 {
-							sendQ.Close()
-						}
+						stage.exitClosed()
 						return
 					}
 					c := item.(*chunkState)
@@ -461,24 +605,31 @@ func (r *Runner) build(st *Stream) error {
 			}
 			eng.After(0, loop)
 		}
+		stage.launch(cores, unpinned)
 	}
 
 	// --- Send workers ----------------------------------------------
 	{
 		g, _ := st.SenderCfg.Group(Send)
 		cores, unpinned := PlaceGroup(st.Sender, g)
-		for _, core := range cores {
-			core := core
+		stage := st.newStage(Send, st.Sender, nil)
+		stage.spawn = func(core *hw.Core, unpinned bool) {
 			inFlight := 0
 			waiting := false
 			var loop func()
 			loop = func() {
+				// Retiring with chunks in flight is safe: their arrival
+				// continuations run independently of this loop.
+				if stage.takeRetire(core) {
+					return
+				}
 				if inFlight >= spec.Window {
 					waiting = true
 					return
 				}
 				sendQ.Get(func(item any, ok bool) {
 					if !ok {
+						stage.exitClosed()
 						return
 					}
 					c := item.(*chunkState)
@@ -513,6 +664,7 @@ func (r *Runner) build(st *Stream) error {
 			}
 			eng.After(0, loop)
 		}
+		stage.launch(cores, unpinned)
 	}
 
 	// --- Receive workers -------------------------------------------
@@ -522,12 +674,16 @@ func (r *Runner) build(st *Stream) error {
 			return fmt.Errorf("runtime: stream %q receiver config lacks a receive group", spec.Name)
 		}
 		cores, unpinned := PlaceGroup(st.Receiver, g)
-		for _, core := range cores {
-			core := core
+		stage := st.newStage(Receive, st.Receiver, nil)
+		stage.spawn = func(core *hw.Core, unpinned bool) {
 			var loop func()
 			loop = func() {
+				if stage.takeRetire(core) {
+					return
+				}
 				rxQ.Get(func(item any, ok bool) {
 					if !ok {
+						stage.exitClosed()
 						return
 					}
 					c := item.(*chunkState)
@@ -564,18 +720,23 @@ func (r *Runner) build(st *Stream) error {
 			}
 			eng.After(0, loop)
 		}
+		stage.launch(cores, unpinned)
 	}
 
 	// --- Decompression workers --------------------------------------
 	if nDec > 0 {
 		g, _ := st.ReceiverCfg.Group(Decompress)
 		cores, unpinned := PlaceGroup(st.Receiver, g)
-		for _, core := range cores {
-			core := core
+		stage := st.newStage(Decompress, st.Receiver, nil)
+		stage.spawn = func(core *hw.Core, unpinned bool) {
 			var loop func()
 			loop = func() {
+				if stage.takeRetire(core) {
+					return
+				}
 				decQ.Get(func(item any, ok bool) {
 					if !ok {
+						stage.exitClosed()
 						return
 					}
 					c := item.(*chunkState)
@@ -600,6 +761,7 @@ func (r *Runner) build(st *Stream) error {
 			}
 			eng.After(0, loop)
 		}
+		stage.launch(cores, unpinned)
 	}
 
 	return nil

@@ -18,7 +18,9 @@
 //	              pool / churn signals, and the regime log. JSON by
 //	              default; ?format=text for a terminal summary,
 //	              ?streams=1 to include the per-stream health
-//	              scoreboard, ?log=1 for the regime log as JSONL.
+//	              scoreboard, ?log=1 for the regime log as JSONL,
+//	              ?actions=1 (with an Adapt controller wired) for the
+//	              adaptive placement action log.
 //	/cluster      (ServeWith with a Fleet aggregator) the cluster-wide
 //	              control-tower view: the fleet verdict naming the
 //	              dominant node + stage, per-node windows, per-hop delay
@@ -48,6 +50,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"numastream/internal/adapt"
 	"numastream/internal/fleet"
 	"numastream/internal/metrics"
 	"numastream/internal/obs"
@@ -78,6 +81,9 @@ type Options struct {
 	// Fleet, when non-nil, is exposed at /cluster (the aggregated
 	// control-tower view) and /alerts (the SLO alert states).
 	Fleet *fleet.Aggregator
+	// Adapt, when non-nil (and Obs is set), lets /status?actions=1
+	// include the adaptive placement controller's action log.
+	Adapt *adapt.Controller
 }
 
 // Serve starts a telemetry server for reg on addr (":0" picks a free
@@ -129,6 +135,7 @@ func ServeWith(addr string, reg *metrics.Registry, opts Options) (*Server, error
 	}
 	if opts.Obs != nil {
 		eng := opts.Obs
+		ctrl := opts.Adapt
 		mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 			q := r.URL.Query()
 			if q.Get("log") == "1" {
@@ -137,14 +144,26 @@ func ServeWith(addr string, reg *metrics.Registry, opts Options) (*Server, error
 				return
 			}
 			st := eng.Status(q.Get("streams") == "1")
+			withActions := ctrl != nil && q.Get("actions") == "1"
 			if q.Get("format") == "text" {
 				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 				st.WriteText(w)
+				if withActions {
+					actions := ctrl.Actions()
+					fmt.Fprintf(w, "\nadaptive actions (%d):\n%s", len(actions), adapt.FormatActions(actions))
+				}
 				return
 			}
 			w.Header().Set("Content-Type", "application/json")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
+			if withActions {
+				enc.Encode(struct {
+					obs.Status
+					Actions []adapt.Action `json:"actions"`
+				}{st, ctrl.Actions()})
+				return
+			}
 			enc.Encode(st)
 		})
 	}
